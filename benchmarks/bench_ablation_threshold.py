@@ -1,0 +1,67 @@
+"""Ablation A1 — the divergence threshold D (Eq. 5).
+
+Sweeps D below and above the Eq. 5 value.  Expected shape: detection
+latency grows linearly with D (the detector waits for 2D - 1 tokens of
+divergence); thresholds below the fault-free divergence envelope
+false-positive (exhibited on the bursty synthetic workload); the Eq. 5
+value is the smallest false-positive-free choice for worst-case traces.
+"""
+
+from repro.analysis.tables import format_table
+from repro.apps import AdpcmApp
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.ablations import threshold_sweep
+
+
+def test_ablation_threshold_latency(benchmark, report):
+    app = AdpcmApp(seed=7)
+    base = app.sizing().selector_threshold
+
+    def run():
+        return threshold_sweep(app, [base, base + 2, base + 4, base + 8],
+                               runs=5, warmup_tokens=80, post_tokens=40)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [p.parameter, p.mean_latency_ms, p.false_positives,
+         f"{p.detected_runs}/{p.runs}"]
+        for p in points
+    ]
+    report(
+        "ablation_threshold_latency",
+        format_table(
+            ["D", "mean latency (ms)", "false positives", "detected"],
+            rows,
+            title=f"Ablation A1 [adpcm]: latency vs threshold "
+                  f"(Eq. 5 gives D = {base})",
+        ),
+    )
+    latencies = [p.mean_latency_ms for p in points]
+    assert latencies == sorted(latencies)
+    assert all(p.false_positives == 0 for p in points)
+
+
+def test_ablation_threshold_false_positives(benchmark, report):
+    app = SyntheticApp.bursty(seed=7)
+    base = app.sizing().selector_threshold
+
+    def run():
+        return threshold_sweep(app, [1, max(base - 2, 1), base],
+                               runs=5, warmup_tokens=80, post_tokens=40)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [p.parameter, p.false_positives, p.mean_latency_ms]
+        for p in points
+    ]
+    report(
+        "ablation_threshold_false_positives",
+        format_table(
+            ["D", "false positives", "mean latency (ms)"],
+            rows,
+            title=f"Ablation A1 [bursty synthetic]: false positives below "
+                  f"Eq. 5 (D = {base})",
+        ),
+    )
+    assert points[0].false_positives > 0  # D = 1 under-sized
+    assert points[-1].false_positives == 0  # Eq. 5 value clean

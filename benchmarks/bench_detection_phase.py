@@ -1,0 +1,76 @@
+"""Detection-time analysis (Section 3.4, "Fault Detection Times").
+
+The paper's Eqs. 6-8 bound the worst case over all injection instants;
+in practice "the actual faults are detected much faster than the
+computed worst case bounds, since worst cases are only rarely
+encountered" (Section 4.3).  This bench quantifies that statement: it
+sweeps the injection phase across the producer period and reports the
+latency profile against the computed bound, plus the full
+(replica x fault-kind) coverage matrix.
+"""
+
+from repro.analysis.tables import format_table
+from repro.apps import AdpcmApp, MjpegDecoderApp
+from repro.faults.scenarios import phase_sweep, scenario_matrix
+
+PHASES = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875]
+
+
+def test_detection_phase_profile(benchmark, report):
+    app = MjpegDecoderApp(seed=5)
+    sizing = app.sizing()
+
+    def run():
+        return phase_sweep(app, PHASES, warmup_tokens=60, post_tokens=30)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [p.phase, p.selector_latency, p.replicator_latency]
+        for p in points
+    ]
+    report(
+        "detection_phase_profile",
+        format_table(
+            ["injection phase", "selector latency (ms)",
+             "replicator latency (ms)"],
+            rows,
+            title=(
+                "Detection latency vs injection phase [mjpeg] — bounds: "
+                f"selector {sizing.selector_detection_bound:.0f} ms, "
+                f"replicator {sizing.replicator_detection_bound:.0f} ms"
+            ),
+        ),
+    )
+    for point in points:
+        assert point.selector_latency <= sizing.selector_detection_bound
+        assert (point.replicator_latency
+                <= sizing.replicator_detection_bound)
+    # "Much faster than the computed worst case": the mean sits well
+    # below the bound.
+    mean = sum(p.selector_latency for p in points) / len(points)
+    assert mean < 0.6 * sizing.selector_detection_bound
+
+
+def test_scenario_coverage_matrix(benchmark, report):
+    app = AdpcmApp(seed=5)
+
+    def run():
+        return scenario_matrix(app, warmup_tokens=80, post_tokens=60)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [r.replica + 1, r.kind, str(r.detected), r.first_site,
+         r.latency, r.consumer_stalls]
+        for r in matrix
+    ]
+    report(
+        "scenario_coverage_matrix",
+        format_table(
+            ["replica", "fault kind", "detected", "first site",
+             "latency (ms)", "consumer stalls"],
+            rows,
+            title="Fault coverage matrix [adpcm]",
+        ),
+    )
+    assert all(r.detected for r in matrix)
+    assert all(r.consumer_stalls == 0 for r in matrix)

@@ -1,0 +1,104 @@
+"""Microbenchmarks of the substrate primitives.
+
+These are genuine per-operation pytest-benchmark measurements (many
+rounds) of the components every experiment is built on: channel
+operations, the event engine, the sizing solver, and the codecs.
+"""
+
+import numpy as np
+
+from repro.apps.sources import SyntheticVideo
+from repro.codec.adpcm import AdpcmCodec
+from repro.codec.jpeg import JpegCodec
+from repro.core.replicator import ReplicatorChannel
+from repro.core.selector import SelectorChannel
+from repro.kpn.network import Network
+from repro.kpn.process import PeriodicConsumer, PeriodicSource
+from repro.kpn.tokens import Token
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import size_duplicated_network
+
+
+def test_selector_write_read_cycle(benchmark):
+    selector = SelectorChannel("s", capacities=(8, 8),
+                               divergence_threshold=4)
+    state = {"seq": 1, "now": 0.0}
+
+    def cycle():
+        seq = state["seq"]
+        now = state["now"]
+        token = Token(value=seq, seqno=seq, stamp=now)
+        selector.poll_write(0, token, now)
+        selector.poll_write(1, token, now + 0.1)
+        selector.poll_read(0, now + 0.2)
+        state["seq"] = seq + 1
+        state["now"] = now + 1.0
+
+    benchmark(cycle)
+
+
+def test_replicator_write_read_cycle(benchmark):
+    replicator = ReplicatorChannel("r", capacities=(4, 4),
+                                   divergence_threshold=4)
+    state = {"seq": 1, "now": 0.0}
+
+    def cycle():
+        seq = state["seq"]
+        now = state["now"]
+        replicator.poll_write(0, Token(value=seq, seqno=seq, stamp=now),
+                              now)
+        replicator.poll_read(0, now + 0.1)
+        replicator.poll_read(1, now + 0.1)
+        state["seq"] = seq + 1
+        state["now"] = now + 1.0
+
+    benchmark(cycle)
+
+
+def test_simulator_throughput(benchmark):
+    """Events per second of a producer/consumer pipeline."""
+
+    def run_pipeline():
+        net = Network("bench")
+        src = net.add_process(
+            PeriodicSource("P", PJD(1.0, 0.1, 1.0), 500, seed=1)
+        )
+        snk = net.add_process(
+            PeriodicConsumer("C", PJD(1.0, 0.1, 1.0), 500, seed=2,
+                             keep_values=False)
+        )
+        fifo = net.add_fifo("f", 8)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        _, stats = net.run()
+        return stats.events
+
+    events = benchmark(run_pipeline)
+    assert events > 1000
+
+
+def test_sizing_solver(benchmark):
+    producer = PJD(30.0, 2.0, 30.0)
+    replicas = [PJD(30.0, 5.0, 30.0), PJD(30.0, 30.0, 30.0)]
+
+    def solve():
+        return size_duplicated_network(producer, replicas, replicas,
+                                       producer)
+
+    sizing = benchmark(solve)
+    assert sizing.replicator_capacities == (2, 3)
+
+
+def test_jpeg_decode_throughput(benchmark):
+    codec = JpegCodec(75)
+    frame = SyntheticVideo(96, 72, seed=0).frame(0)
+    encoded = codec.encode(frame)
+    decoded = benchmark(codec.decode, encoded)
+    assert decoded.shape == frame.shape
+
+
+def test_adpcm_roundtrip_throughput(benchmark):
+    codec = AdpcmCodec()
+    block = (np.sin(np.arange(1536) / 9.0) * 9000).astype(np.int16)
+    out = benchmark(codec.roundtrip_block, block)
+    assert out.shape == block.shape

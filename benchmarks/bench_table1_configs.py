@@ -1,0 +1,27 @@
+"""Table 1 — experiment configurations, and the cost of the Section 3.4
+design-time analysis itself (the paper argues the approach is cheap
+because the models are "already available"; the sizing computation runs
+in microseconds-to-milliseconds)."""
+
+from repro.apps import ALL_APPLICATIONS
+from repro.apps.base import AppScale
+from repro.experiments.table1 import render_table1
+
+
+def test_table1_render(benchmark, report):
+    text = benchmark(render_table1)
+    report("table1_configs", text)
+
+
+def test_sizing_analysis_cost(benchmark, report):
+    """Benchmark the full Eq. 3-8 computation for all three apps."""
+    apps = [cls(AppScale()) for cls in ALL_APPLICATIONS]
+
+    def run_all():
+        return [app.sizing().as_dict() for app in apps]
+
+    results = benchmark(run_all)
+    lines = ["Design-time sizing results (Section 3.4):"]
+    for app, sizing in zip(apps, results):
+        lines.append(f"  {app.name}: {sizing}")
+    report("sizing_analysis", "\n".join(lines))

@@ -1,0 +1,20 @@
+"""Table 2 (ADPCM half) — fault-tolerance results for the ADPCM
+application (encoder + decoder, 4:1 compression, ~6.3 ms sample period).
+"""
+
+from repro.apps import AdpcmApp
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_adpcm(benchmark, report, table_runs, warmup_tokens):
+    app = AdpcmApp(seed=42)
+
+    def run():
+        return run_table2(app, runs=table_runs,
+                          warmup_tokens=warmup_tokens)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("table2_adpcm", render_table2(result))
+    assert result.detected_in_every_run
+    assert result.within_bounds
+    assert result.outputs_equivalent

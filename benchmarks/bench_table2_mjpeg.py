@@ -1,0 +1,27 @@
+"""Table 2 (MJPEG half) — fault-tolerance results for the MJPEG decoder.
+
+Regenerates every block of the paper's Table 2 for the MJPEG
+application: theoretical capacities vs observed fills, fault-detection
+latencies vs bounds, framework overheads, and reference-vs-duplicated
+inter-frame timings.  Paper-vs-measured numbers are catalogued in
+EXPERIMENTS.md.
+"""
+
+from repro.apps import MjpegDecoderApp
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_mjpeg(benchmark, report, table_runs, warmup_tokens):
+    app = MjpegDecoderApp(seed=42)
+
+    def run():
+        return run_table2(app, runs=table_runs,
+                          warmup_tokens=warmup_tokens)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("table2_mjpeg", render_table2(result))
+    assert result.detected_in_every_run
+    assert result.within_bounds
+    assert result.outputs_equivalent
+    assert result.max_fill_r1 <= result.sizing.replicator_capacities[0]
+    assert result.max_fill_r2 <= result.sizing.replicator_capacities[1]

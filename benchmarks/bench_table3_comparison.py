@@ -1,0 +1,47 @@
+"""Table 3 — comparison of our counter-based detection against the
+distance-function monitoring baseline (1 ms polling, l = 1, replica
+timing variations minimised), for all three applications.
+
+The paper's qualitative claims checked here: both techniques detect
+within a small number of periods; the baseline needs four runtime timers
+and pays its polling quantisation; neither false-positives.  See
+EXPERIMENTS.md for the paper-vs-measured discussion.
+"""
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3_comparison(benchmark, report, table_runs):
+    def run():
+        return run_table3(runs=table_runs, warmup_tokens=100,
+                          post_tokens=30, poll_interval=1.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("table3_comparison", render_table3(result))
+    for row in result.rows:
+        assert row.baseline_false_positives == 0
+        assert row.ours.count == result.runs
+        assert row.baseline.count == result.runs
+
+
+def test_table3_polling_discussion(benchmark, report):
+    """The paper's closing discussion: the baseline's deficit "is solely
+    due to the choice of having a 1 ms polling interval" — verified by
+    rerunning with a 0.1 ms poll and watching the gap shrink."""
+
+    def run():
+        fine = run_table3(runs=5, warmup_tokens=60, post_tokens=20,
+                          poll_interval=0.1)
+        coarse = run_table3(runs=5, warmup_tokens=60, post_tokens=20,
+                            poll_interval=2.0)
+        return fine, coarse
+
+    fine, coarse = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Polling interval effect on the baseline (mean latency, ms):"]
+    for f_row, c_row in zip(fine.rows, coarse.rows):
+        lines.append(
+            f"  {f_row.app_name}: poll 0.1 ms -> {f_row.baseline.mean:.2f},"
+            f" poll 2.0 ms -> {c_row.baseline.mean:.2f}"
+        )
+        assert c_row.baseline.mean >= f_row.baseline.mean
+    report("table3_polling_discussion", "\n".join(lines))

@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_table*`` module regenerates one table of the paper and
+prints it (run with ``-s`` to see the tables inline; they are also
+written to ``benchmarks/results/``).  Run counts default to the paper's
+20; override with ``--table-runs`` for quick smoke runs.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--table-runs",
+        action="store",
+        type=int,
+        default=20,
+        help="number of seeded runs per table experiment (paper: 20)",
+    )
+    parser.addoption(
+        "--warmup-tokens",
+        action="store",
+        type=int,
+        default=150,
+        help="tokens processed before fault injection",
+    )
+
+
+@pytest.fixture(scope="session")
+def table_runs(request):
+    return request.config.getoption("--table-runs")
+
+
+@pytest.fixture(scope="session")
+def warmup_tokens(request):
+    return request.config.getoption("--warmup-tokens")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return _report

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate all of the paper's tables in one go (small run counts).
+
+For the full paper-scale regeneration use the benchmark suite:
+
+    pytest benchmarks/ --benchmark-only
+
+Run:  python examples/print_tables.py [--runs N]
+"""
+
+import argparse
+
+from repro.apps import ALL_APPLICATIONS
+from repro.apps.base import AppScale
+from repro.experiments.table1 import render_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=5,
+                        help="seeded runs per experiment (paper: 20)")
+    parser.add_argument("--warmup", type=int, default=100,
+                        help="tokens before fault injection")
+    args = parser.parse_args()
+
+    print(render_table1())
+    print()
+
+    for app_cls in ALL_APPLICATIONS:
+        app = app_cls(AppScale(), seed=42)
+        result = run_table2(app, runs=args.runs,
+                            warmup_tokens=args.warmup)
+        print(render_table2(result))
+        print()
+
+    result = run_table3(runs=args.runs, warmup_tokens=args.warmup)
+    print(render_table3(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "An Efficient Real Time Fault Detection and
+Tolerance Framework Validated on the Intel SCC Processor" (DAC 2014).
+
+Public API tour
+---------------
+
+Timing models and design-time analysis (Sections 2-3.4)::
+
+    from repro import PJD, size_duplicated_network
+    sizing = size_duplicated_network(producer, replica_ins, replica_outs,
+                                     consumer)
+
+The fault-tolerance framework (Sections 3.1-3.3)::
+
+    from repro import NetworkBlueprint, build_duplicated, build_reference
+    duplicated = build_duplicated(blueprint, sizing)
+
+Fault injection and detection (Section 4)::
+
+    from repro import FaultSpec, FaultInjector, FAIL_STOP
+
+The evaluation applications and experiment harnesses::
+
+    from repro.apps import MjpegDecoderApp, AdpcmApp, H264EncoderApp
+    from repro.experiments import run_table2, render_table2
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.rtc import (
+    PJD,
+    SizingResult,
+    divergence_threshold,
+    fifo_capacity,
+    initial_fill,
+    size_duplicated_network,
+)
+from repro.kpn import (
+    Fifo,
+    Network,
+    PeriodicConsumer,
+    PeriodicSource,
+    Process,
+    Simulator,
+    Token,
+)
+from repro.core import (
+    DetectionLog,
+    DuplicatedNetwork,
+    FaultReport,
+    NetworkBlueprint,
+    ReferenceNetwork,
+    ReplicatorChannel,
+    SelectorChannel,
+    build_duplicated,
+    build_reference,
+    check_equivalence,
+)
+from repro.faults import FAIL_STOP, RATE_DEGRADE, FaultInjector, FaultSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PJD",
+    "SizingResult",
+    "divergence_threshold",
+    "fifo_capacity",
+    "initial_fill",
+    "size_duplicated_network",
+    "Fifo",
+    "Network",
+    "PeriodicConsumer",
+    "PeriodicSource",
+    "Process",
+    "Simulator",
+    "Token",
+    "DetectionLog",
+    "DuplicatedNetwork",
+    "FaultReport",
+    "NetworkBlueprint",
+    "ReferenceNetwork",
+    "ReplicatorChannel",
+    "SelectorChannel",
+    "build_duplicated",
+    "build_reference",
+    "check_equivalence",
+    "FAIL_STOP",
+    "RATE_DEGRADE",
+    "FaultInjector",
+    "FaultSpec",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Statistics and report rendering shared by the experiment harnesses."""
+
+from repro.analysis.stats import LatencyStats, TimingStats, summarize
+from repro.analysis.tables import format_table, format_kv_block
+
+__all__ = ["LatencyStats", "TimingStats", "summarize", "format_table",
+           "format_kv_block"]

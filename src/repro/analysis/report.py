@@ -1,0 +1,145 @@
+"""Markdown experiment-report generation.
+
+Assembles the structured results of the experiment harnesses into a
+single markdown document — the automated counterpart of EXPERIMENTS.md,
+useful for CI artifacts and for re-running the evaluation on modified
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import Table3Result
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]
+              ) -> str:
+    def fmt(value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def table2_markdown(result: Table2Result) -> str:
+    """One application's Table 2 as markdown."""
+    sizing = result.sizing
+    parts = [f"### Table 2 — {result.app_name} ({result.runs} runs)"]
+    parts.append(
+        _md_table(
+            ["FIFO", "|R1|", "|R2|", "|S1|", "|S2|", "|S1|_0", "|S2|_0"],
+            [
+                [
+                    "theoretical capacity",
+                    *sizing.replicator_capacities,
+                    *sizing.selector_capacities,
+                    *sizing.selector_initial_fill,
+                ],
+                [
+                    "max observed fill",
+                    result.max_fill_r1,
+                    result.max_fill_r2,
+                    result.max_fill_selector,
+                    result.max_fill_selector,
+                    None,
+                    None,
+                ],
+            ],
+        )
+    )
+    parts.append(
+        _md_table(
+            ["detection latency (ms)", "min", "max", "mean", "bound"],
+            [
+                [
+                    "selector",
+                    result.selector_latency.minimum,
+                    result.selector_latency.maximum,
+                    result.selector_latency.mean,
+                    sizing.selector_detection_bound,
+                ],
+                [
+                    "replicator",
+                    result.replicator_latency.minimum,
+                    result.replicator_latency.maximum,
+                    result.replicator_latency.mean,
+                    sizing.replicator_detection_bound,
+                ],
+            ],
+        )
+    )
+    parts.append(
+        _md_table(
+            ["overhead", "memory", "runtime"],
+            [
+                [
+                    "selector",
+                    result.overhead_selector.memory_description(),
+                    result.overhead_selector.runtime_description(),
+                ],
+                [
+                    "replicator",
+                    result.overhead_replicator.memory_description(),
+                    result.overhead_replicator.runtime_description(),
+                ],
+            ],
+        )
+    )
+    verdict = (
+        f"All faults detected: **{result.detected_in_every_run}** · "
+        f"within bounds: **{result.within_bounds}** · outputs "
+        f"equivalent: **{result.outputs_equivalent}** · consumer "
+        f"stalls: **{result.consumer_stalls}**"
+    )
+    parts.append(verdict)
+    return "\n\n".join(parts)
+
+
+def table3_markdown(result: Table3Result) -> str:
+    """Table 3 as markdown."""
+    parts = [f"### Table 3 — baseline comparison ({result.runs} runs)"]
+    rows = [
+        [
+            row.app_name,
+            row.baseline.maximum, row.baseline.minimum, row.baseline.mean,
+            row.ours.maximum, row.ours.minimum, row.ours.mean,
+            row.baseline_timer_count,
+            row.baseline_false_positives,
+        ]
+        for row in result.rows
+    ]
+    parts.append(
+        _md_table(
+            ["app", "DF max", "DF min", "DF mean", "ours max",
+             "ours min", "ours mean", "DF timers", "DF false pos"],
+            rows,
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def full_report(
+    table2_results: Sequence[Table2Result],
+    table3_result: Optional[Table3Result] = None,
+    title: str = "Fault-tolerance evaluation report",
+) -> str:
+    """Assemble a complete markdown report."""
+    parts: List[str] = [f"# {title}", ""]
+    for result in table2_results:
+        parts.append(table2_markdown(result))
+        parts.append("")
+    if table3_result is not None:
+        parts.append(table3_markdown(table3_result))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,52 @@
+"""Summary statistics for detection latencies and token timings."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """min / max / mean / std of a latency sample (ms)."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    def within(self, bound: float) -> bool:
+        """True iff every sample respected ``bound``."""
+        return self.maximum <= bound
+
+    def row(self) -> dict:
+        return {
+            "n": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+#: Timing statistics share the representation.
+TimingStats = LatencyStats
+
+
+def summarize(samples: Sequence[float]) -> LatencyStats:
+    """Summarise a non-empty sample."""
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return LatencyStats(
+        count=n,
+        minimum=min(values),
+        maximum=max(values),
+        mean=mean,
+        std=math.sqrt(variance),
+    )

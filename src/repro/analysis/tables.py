@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The benchmarks print the regenerated tables in a paper-like plain-text
+format; these helpers keep column widths consistent without pulling in a
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Fixed-width text table with an optional title line."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, items: Dict[str, Any]) -> str:
+    """A titled key/value block."""
+    width = max((len(k) for k in items), default=0)
+    lines = [title]
+    for key, value in items.items():
+        lines.append(f"  {key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

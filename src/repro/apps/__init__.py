@@ -1,0 +1,37 @@
+"""The three streaming applications of the paper's evaluation (Section 4.2).
+
+Each application is a :class:`~repro.apps.base.StreamingApplication`: it
+carries its Table 1 interface models (PJD tuples for producer, replica
+consumption/production and consumer), knows how to compute its sizing
+(Section 3.4) and how to build the :class:`~repro.core.duplicate.
+NetworkBlueprint` from which the reference and duplicated networks are
+assembled.
+
+* :class:`~repro.apps.mjpeg.MjpegDecoderApp` — split-stream / parallel
+  decode / merge-frame over a real JPEG-style codec (Figure 2, top);
+* :class:`~repro.apps.adpcm.AdpcmApp` — IMA ADPCM encoder + decoder over
+  3 KB PCM sample blocks (Figure 2, bottom);
+* :class:`~repro.apps.h264.H264EncoderApp` — the simplified H.264 encoder
+  (results "similar", omitted from the paper for space).
+"""
+
+from repro.apps.base import AppScale, StreamingApplication
+from repro.apps.sources import SyntheticAudio, SyntheticVideo
+from repro.apps.mjpeg import MjpegDecoderApp
+from repro.apps.adpcm import AdpcmApp
+from repro.apps.h264 import H264EncoderApp
+from repro.apps.synthetic import SyntheticApp
+
+ALL_APPLICATIONS = (MjpegDecoderApp, AdpcmApp, H264EncoderApp)
+
+__all__ = [
+    "AppScale",
+    "StreamingApplication",
+    "SyntheticAudio",
+    "SyntheticVideo",
+    "MjpegDecoderApp",
+    "AdpcmApp",
+    "H264EncoderApp",
+    "SyntheticApp",
+    "ALL_APPLICATIONS",
+]

@@ -1,0 +1,69 @@
+"""Strict heartbeat monitoring (the "too restrictive" approach).
+
+A heartbeat monitor expects one event in every period-aligned slot.  On a
+jitter-free stream it detects immediately; on any realistically jittered
+stream it false-positives, which is why the paper dismisses heartbeat
+monitoring for dataflow process networks.  The ablation benchmark
+quantifies the false-positive rate as a function of stream jitter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.monitor import MonitorDetection, PollingMonitor
+from repro.kpn.trace import ChannelTrace
+
+
+class HeartbeatMonitor(PollingMonitor):
+    """Slot-based heartbeat checker.
+
+    Stream ``i`` must produce at least one event in every window
+    ``[k * period, (k + 1) * period + grace)``; a missed slot flags the
+    stream.  ``grace`` defaults to zero — the strict version.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        poll_interval: float,
+        stop_time: float,
+        streams: Sequence[ChannelTrace],
+        period: float,
+        grace: float = 0.0,
+        event_kind: str = "write",
+    ) -> None:
+        super().__init__(name, poll_interval, stop_time, streams, event_kind)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.grace = grace
+
+    def check(self, now: float) -> List[MonitorDetection]:
+        detections: List[MonitorDetection] = []
+        # The slot whose deadline most recently passed.
+        completed_slots = int((now - self.grace) / self.period)
+        if completed_slots < 1:
+            return detections
+        for index in range(len(self.streams)):
+            times = [
+                e.time
+                for e in self.streams[index].events
+                if e.kind == self.event_kind
+            ]
+            for slot in range(completed_slots):
+                window_start = slot * self.period
+                window_end = (slot + 1) * self.period + self.grace
+                satisfied = any(
+                    window_start <= t < window_end for t in times
+                )
+                if not satisfied:
+                    detections.append(
+                        MonitorDetection(
+                            time=now,
+                            stream=index,
+                            reason=f"missed heartbeat slot {slot}",
+                        )
+                    )
+                    break
+        return detections

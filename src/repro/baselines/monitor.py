@@ -1,0 +1,95 @@
+"""Polling monitor infrastructure.
+
+Baseline detectors are simulated processes that wake up every
+``poll_interval`` ms (this is the runtime-timer dependency the paper's
+approach eliminates) and inspect the event history of the streams they
+watch — a :class:`~repro.kpn.trace.ChannelTrace` recorded by the channel
+under observation.  Because the simulator is single-threaded, a poll at
+virtual time ``t`` sees exactly the events with timestamps ``<= t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.kpn.operations import Delay
+from repro.kpn.process import Process
+from repro.kpn.trace import ChannelTrace
+
+
+@dataclass(frozen=True)
+class MonitorDetection:
+    """One baseline detection event."""
+
+    time: float
+    stream: int
+    reason: str
+
+
+class PollingMonitor(Process):
+    """Base class: poll every ``poll_interval`` until ``stop_time``.
+
+    Subclasses implement :meth:`check(now)` returning a list of
+    :class:`MonitorDetection`.  Once a stream is flagged it is not
+    re-flagged.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        poll_interval: float,
+        stop_time: float,
+        streams: Sequence[ChannelTrace],
+        event_kind: str = "write",
+    ) -> None:
+        super().__init__(name)
+        if poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.poll_interval = poll_interval
+        self.stop_time = stop_time
+        self.streams = list(streams)
+        self.event_kind = event_kind
+        self.detections: List[MonitorDetection] = []
+        self._flagged = [False] * len(self.streams)
+        self.polls = 0
+
+    def check(self, now: float) -> List[MonitorDetection]:
+        """Inspect the streams; return new detections."""
+        raise NotImplementedError
+
+    def first_detection(self, stream: Optional[int] = None
+                        ) -> Optional[MonitorDetection]:
+        """Earliest detection (optionally for one stream)."""
+        for detection in self.detections:
+            if stream is None or detection.stream == stream:
+                return detection
+        return None
+
+    def behavior(self):
+        while self.now < self.stop_time:
+            yield Delay(self.poll_interval)
+            self.polls += 1
+            for detection in self.check(self.now):
+                if not self._flagged[detection.stream]:
+                    self._flagged[detection.stream] = True
+                    self.detections.append(detection)
+
+    # -- helpers for subclasses ------------------------------------------------
+
+    def last_event_time(self, stream: int) -> Optional[float]:
+        """Timestamp of the stream's most recent observed event."""
+        events = self.streams[stream].events
+        for event in reversed(events):
+            if event.kind == self.event_kind:
+                return event.time
+        return None
+
+    def recent_event_times(self, stream: int, count: int) -> List[float]:
+        """The last ``count`` observed timestamps (oldest first)."""
+        times = [
+            e.time
+            for e in self.streams[stream].events
+            if e.kind == self.event_kind
+        ]
+        return times[-count:]

@@ -1,0 +1,51 @@
+"""Watchdog-timeout monitoring (the "simple approach" of Section 1).
+
+A watchdog fires when no event has been observed for a fixed timeout.  It
+works for strictly periodic streams (timeout slightly above the period)
+but for bursty dataflow it faces the dilemma the paper describes: a tight
+timeout false-positives on legal bursts/gaps, a loose one detects late.
+The ablation benchmark sweeps the timeout to exhibit exactly that
+trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.monitor import MonitorDetection, PollingMonitor
+from repro.kpn.trace import ChannelTrace
+
+
+class WatchdogMonitor(PollingMonitor):
+    """Fixed-timeout watchdog over one or more streams."""
+
+    def __init__(
+        self,
+        name: str,
+        poll_interval: float,
+        stop_time: float,
+        streams: Sequence[ChannelTrace],
+        timeout: float,
+        event_kind: str = "write",
+    ) -> None:
+        super().__init__(name, poll_interval, stop_time, streams, event_kind)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+
+    def check(self, now: float) -> List[MonitorDetection]:
+        detections: List[MonitorDetection] = []
+        for index in range(len(self.streams)):
+            last = self.last_event_time(index)
+            if last is None:
+                continue  # arms at the first observed event
+            if now - last > self.timeout:
+                detections.append(
+                    MonitorDetection(
+                        time=now,
+                        stream=index,
+                        reason=f"watchdog gap {now - last:.3f} > "
+                               f"{self.timeout:.3f}",
+                    )
+                )
+        return detections

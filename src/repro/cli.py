@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``sizing``
+    Run the Section 3.4 design-time analysis for PJD models given on the
+    command line (or for one of the built-in applications).
+``tables``
+    Regenerate the paper's tables (configurable run counts).
+``demo``
+    Run a single fault-injection demonstration and print the detections.
+``calibrate``
+    Fit a PJD model to a trace of event timestamps (file or stdin,
+    one timestamp per line) — the Eq. 2 calibration path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps import ALL_APPLICATIONS
+from repro.apps.base import AppScale
+from repro.rtc.pjd import PJD
+
+_APPS = {cls.name: cls for cls in ALL_APPLICATIONS}
+
+
+def _parse_pjd(text: str) -> PJD:
+    """Parse ``period,jitter,delay`` (or ``<p, j, d>``) into a PJD."""
+    cleaned = text.strip().strip("<>").replace(" ", "")
+    parts = cleaned.split(",")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected 'period,jitter,delay', got {text!r}"
+        )
+    try:
+        period, jitter, delay = (float(p) for p in parts)
+        return PJD(period, jitter, delay)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def _cmd_sizing(args) -> int:
+    if args.app:
+        app = _APPS[args.app](AppScale())
+        sizing = app.sizing()
+        print(f"Application: {app.name}")
+    else:
+        if not (args.producer and args.replica1 and args.replica2):
+            print("either --app or all of --producer/--replica1/--replica2 "
+                  "are required", file=sys.stderr)
+            return 2
+        from repro.rtc.sizing import size_duplicated_network
+        consumer = args.consumer or args.producer
+        replicas = [args.replica1, args.replica2]
+        sizing = size_duplicated_network(args.producer, replicas,
+                                         replicas, consumer)
+    for key, value in sizing.as_dict().items():
+        print(f"  {key:20s} = {value}")
+    print(f"  {'priming':20s} = {sizing.selector_priming}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.experiments.table1 import render_table1
+    from repro.experiments.table2 import render_table2, run_table2
+    from repro.experiments.table3 import render_table3, run_table3
+
+    which = set(args.which or ["1", "2", "3"])
+    if "1" in which:
+        print(render_table1())
+        print()
+    if "2" in which:
+        for name in (args.apps or list(_APPS)):
+            app = _APPS[name](AppScale(), seed=42)
+            result = run_table2(app, runs=args.runs,
+                                warmup_tokens=args.warmup)
+            print(render_table2(result))
+            print()
+    if "3" in which:
+        apps = [
+            _APPS[name](AppScale(), seed=42)
+            for name in (args.apps or list(_APPS))
+        ]
+        print(render_table3(run_table3(apps=apps, runs=args.runs,
+                                       warmup_tokens=args.warmup)))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.experiments.runner import fault_time_for, run_duplicated
+    from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+
+    app = _APPS[args.app](AppScale(), seed=args.seed)
+    sizing = app.sizing()
+    kind = RATE_DEGRADE if args.degrade else FAIL_STOP
+    fault = FaultSpec(
+        replica=args.replica,
+        time=fault_time_for(app, args.warmup, phase=0.4),
+        kind=kind,
+        slowdown=args.slowdown if args.degrade else 4.0,
+    )
+    run = run_duplicated(app, args.warmup + 40, args.seed, fault=fault,
+                         sizing=sizing)
+    print(f"{app.name}: {kind} fault in replica {args.replica + 1} at "
+          f"t = {fault.time:.1f} ms")
+    for report in run.detections:
+        print(f"  {report.site:<10s} +{report.time - fault.time:7.1f} ms "
+              f"[{report.mechanism}] {report.detail}")
+    print(f"  consumer stalls: {run.stalls}; tokens: {len(run.values)}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.rtc.calibration import fit_pjd
+
+    if args.trace == "-":
+        lines = sys.stdin.read().split()
+    else:
+        with open(args.trace) as handle:
+            lines = handle.read().split()
+    timestamps = [float(line) for line in lines if line.strip()]
+    if len(timestamps) < 2:
+        print("need at least two timestamps", file=sys.stderr)
+        return 2
+    model = fit_pjd(timestamps)
+    print(f"fitted PJD: {model}")
+    print(f"  period       = {model.period:.6g} ms")
+    print(f"  jitter       = {model.jitter:.6g} ms")
+    print(f"  min distance = {model.min_distance:.6g} ms")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.experiments.runner import run_duplicated
+    from repro.kpn.tracefile import (
+        channel_timestamps,
+        save_recorder,
+        save_timestamps,
+    )
+
+    app = _APPS[args.app](AppScale(), seed=args.seed)
+    run = run_duplicated(app, args.tokens, args.seed,
+                         record_events=True)
+    recorder = run.network.network.recorder
+    if args.json:
+        save_recorder(recorder, args.output)
+        print(f"full trace ({len(recorder.names())} channels) written "
+              f"to {args.output}")
+        return 0
+    if args.channel not in recorder.names():
+        print(f"unknown channel {args.channel!r}; available: "
+              f"{', '.join(recorder.names())}", file=sys.stderr)
+        return 2
+    timestamps = channel_timestamps(recorder[args.channel],
+                                    kind=args.kind)
+    save_timestamps(timestamps, args.output)
+    print(f"{len(timestamps)} {args.kind} timestamps of "
+          f"{args.channel} written to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.reproduce import reproduce_all
+
+    result = reproduce_all(runs=args.runs, warmup_tokens=args.warmup,
+                           seed=args.seed, output_path=args.output)
+    print(f"report written to {args.output}")
+    print(f"all verdicts hold: {result.all_verdicts_hold}")
+    return 0 if result.all_verdicts_hold else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'14 real-time fault-tolerance framework "
+                    "(reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sizing = sub.add_parser("sizing", help="run the Section 3.4 analysis")
+    sizing.add_argument("--app", choices=sorted(_APPS))
+    sizing.add_argument("--producer", type=_parse_pjd,
+                        help="producer model 'p,j,d' (ms)")
+    sizing.add_argument("--replica1", type=_parse_pjd)
+    sizing.add_argument("--replica2", type=_parse_pjd)
+    sizing.add_argument("--consumer", type=_parse_pjd)
+    sizing.set_defaults(func=_cmd_sizing)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--which", nargs="*", choices=["1", "2", "3"])
+    tables.add_argument("--apps", nargs="*", choices=sorted(_APPS))
+    tables.add_argument("--runs", type=int, default=5)
+    tables.add_argument("--warmup", type=int, default=100)
+    tables.set_defaults(func=_cmd_tables)
+
+    demo = sub.add_parser("demo", help="single fault-injection run")
+    demo.add_argument("--app", choices=sorted(_APPS), default="mjpeg")
+    demo.add_argument("--replica", type=int, choices=[0, 1], default=0)
+    demo.add_argument("--degrade", action="store_true",
+                      help="rate-degradation instead of fail-stop")
+    demo.add_argument("--slowdown", type=float, default=4.0)
+    demo.add_argument("--warmup", type=int, default=80)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    calibrate = sub.add_parser("calibrate",
+                               help="fit a PJD model to a timestamp trace")
+    calibrate.add_argument("trace",
+                           help="file of timestamps (ms), or '-' for stdin")
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an application and export a channel's event trace",
+    )
+    trace.add_argument("output", help="output file")
+    trace.add_argument("--app", choices=sorted(_APPS), default="adpcm")
+    trace.add_argument("--channel", default="replicator.R1",
+                       help="channel to export (timestamp mode)")
+    trace.add_argument("--kind", default="write",
+                       choices=["write", "read", "drop"])
+    trace.add_argument("--tokens", type=int, default=200)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--json", action="store_true",
+                       help="export every channel as JSON instead")
+    trace.set_defaults(func=_cmd_trace)
+
+    rep = sub.add_parser(
+        "report", help="run the full evaluation, write a markdown report"
+    )
+    rep.add_argument("output", help="path of the markdown report")
+    rep.add_argument("--runs", type=int, default=20)
+    rep.add_argument("--warmup", type=int, default=150)
+    rep.add_argument("--seed", type=int, default=42)
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

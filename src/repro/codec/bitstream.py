@@ -1,0 +1,75 @@
+"""Bit-level reading and writing.
+
+Both the JPEG-style and the H.264-style codecs serialise symbols into a
+packed big-endian bitstream; these two classes are the only place bit
+twiddling happens.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0
+        self._filled = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit (0 or 1)."""
+        self._current = (self._current << 1) | (bit & 1)
+        self._filled += 1
+        if self._filled == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError("bit count must be >= 0")
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """The padded byte string (trailing zero bits fill the last byte)."""
+        result = bytearray(self._bytes)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far."""
+        return len(self._bytes) * 8 + self._filled
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        """Read one bit; raises :class:`EOFError` past the end."""
+        byte_index, bit_index = divmod(self._position, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits as an unsigned integer."""
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the stream (including padding)."""
+        return len(self._data) * 8 - self._position

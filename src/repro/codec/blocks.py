@@ -1,0 +1,55 @@
+"""Frame <-> 8x8 block tiling."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Transform block edge length used by both frame codecs.
+BLOCK = 8
+
+
+def pad_frame(frame: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Edge-replicate a 2-D frame so both dimensions divide ``block``."""
+    if frame.ndim != 2:
+        raise ValueError("frame must be 2-D (grayscale)")
+    height, width = frame.shape
+    pad_h = (-height) % block
+    pad_w = (-width) % block
+    if pad_h == 0 and pad_w == 0:
+        return frame
+    return np.pad(frame, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def frame_to_blocks(frame: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Tile a padded frame into an array of shape ``(n, block, block)``.
+
+    Blocks are ordered row-major over the block grid.
+    """
+    frame = pad_frame(frame, block)
+    height, width = frame.shape
+    rows, cols = height // block, width // block
+    tiled = frame.reshape(rows, block, cols, block).swapaxes(1, 2)
+    return tiled.reshape(rows * cols, block, block)
+
+
+def blocks_to_frame(
+    blocks: np.ndarray, shape: Tuple[int, int], block: int = BLOCK
+) -> np.ndarray:
+    """Reassemble blocks into a frame and crop to ``shape``."""
+    height, width = shape
+    padded_h = height + ((-height) % block)
+    padded_w = width + ((-width) % block)
+    rows, cols = padded_h // block, padded_w // block
+    if blocks.shape[0] != rows * cols:
+        raise ValueError(
+            f"expected {rows * cols} blocks for shape {shape}, "
+            f"got {blocks.shape[0]}"
+        )
+    frame = (
+        blocks.reshape(rows, cols, block, block)
+        .swapaxes(1, 2)
+        .reshape(padded_h, padded_w)
+    )
+    return frame[:height, :width]

@@ -1,0 +1,39 @@
+"""The 8x8 type-II discrete cosine transform.
+
+Implemented as a pair of orthonormal matrix multiplications
+(``D @ X @ D.T``), which is exact, vectorises over stacked blocks, and
+round-trips to floating-point precision — determinism is what the process
+networks need, not speed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.codec.blocks import BLOCK
+
+
+def _dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """The orthonormal DCT-II basis matrix of size ``n``."""
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for k in range(n):
+        scale = math.sqrt(1.0 / n) if k == 0 else math.sqrt(2.0 / n)
+        for i in range(n):
+            matrix[k, i] = scale * math.cos(math.pi * (2 * i + 1) * k / (2 * n))
+    return matrix
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def dct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of one ``(8, 8)`` block or a stack ``(n, 8, 8)``."""
+    return _DCT @ blocks @ _IDCT
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT (exact inverse of :func:`dct2`)."""
+    return _IDCT @ coefficients @ _DCT

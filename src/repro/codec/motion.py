@@ -1,0 +1,70 @@
+"""Block motion estimation and compensation (the H.264 inter path)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.codec.blocks import BLOCK
+
+
+def motion_estimate(
+    current: np.ndarray,
+    reference: np.ndarray,
+    top: int,
+    left: int,
+    search_range: int = 4,
+    block: int = BLOCK,
+) -> Tuple[int, int, float]:
+    """Full-search motion estimation for one block.
+
+    Finds the integer motion vector ``(dy, dx)`` within ``search_range``
+    minimising the sum of absolute differences between the ``block x
+    block`` patch of ``current`` at ``(top, left)`` and the displaced
+    patch of ``reference``.  Ties resolve to the smallest ``(|dy| + |dx|,
+    dy, dx)`` so the search is deterministic.
+
+    Returns ``(dy, dx, sad)``.
+    """
+    height, width = reference.shape
+    patch = current[top: top + block, left: left + block].astype(np.int64)
+    best: Tuple[int, int, float] = (0, 0, float("inf"))
+    candidates = []
+    for dy in range(-search_range, search_range + 1):
+        for dx in range(-search_range, search_range + 1):
+            y, x = top + dy, left + dx
+            if y < 0 or x < 0 or y + block > height or x + block > width:
+                continue
+            candidate = reference[y: y + block, x: x + block].astype(np.int64)
+            sad = float(np.abs(patch - candidate).sum())
+            candidates.append((sad, abs(dy) + abs(dx), dy, dx))
+    if not candidates:
+        return (0, 0, float(np.abs(patch).sum()))
+    sad, _, dy, dx = min(candidates)
+    return (dy, dx, sad)
+
+
+def motion_compensate(
+    reference: np.ndarray,
+    motion: np.ndarray,
+    block: int = BLOCK,
+) -> np.ndarray:
+    """Build the motion-compensated prediction frame.
+
+    ``motion`` has shape ``(rows, cols, 2)`` holding ``(dy, dx)`` per
+    block of the padded frame grid.
+    """
+    rows, cols, _ = motion.shape
+    height, width = rows * block, cols * block
+    if reference.shape != (height, width):
+        raise ValueError("reference shape does not match the motion grid")
+    predicted = np.zeros_like(reference)
+    for r in range(rows):
+        for c in range(cols):
+            dy, dx = int(motion[r, c, 0]), int(motion[r, c, 1])
+            y, x = r * block + dy, c * block + dx
+            predicted[
+                r * block: (r + 1) * block, c * block: (c + 1) * block
+            ] = reference[y: y + block, x: x + block]
+    return predicted

@@ -1,0 +1,47 @@
+"""Quantisation of DCT coefficients.
+
+Uses the baseline-JPEG luminance table, scaled by a quality factor with
+the libjpeg convention (quality 50 is the unscaled table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The ISO/IEC 10918-1 Annex K luminance quantisation table.
+JPEG_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quality_scaled_table(quality: int, base: np.ndarray = JPEG_LUMA_QUANT) -> np.ndarray:
+    """Scale a quantisation table by a JPEG quality factor (1..100)."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    if quality < 50:
+        scale = 5000 / quality
+    else:
+        scale = 200 - 2 * quality
+    table = np.floor((base * scale + 50) / 100)
+    return np.clip(table, 1, 255)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantise DCT coefficients to integers (round-half-away)."""
+    scaled = coefficients / table
+    return np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruct coefficients from quantised levels."""
+    return levels * table

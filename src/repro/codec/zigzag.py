@@ -1,0 +1,78 @@
+"""Zig-zag scanning and run-length coding of quantised blocks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.codec.blocks import BLOCK
+
+
+def _zigzag_order(n: int = BLOCK) -> np.ndarray:
+    """Indices of the zig-zag scan for an ``n x n`` block."""
+    # Anti-diagonals in order; odd diagonals are walked with the row
+    # index ascending ((0,1) before (1,0)), even ones descending — the
+    # standard JPEG zig-zag.
+    order = sorted(
+        ((i, j) for i in range(n) for j in range(n)),
+        key=lambda ij: (
+            ij[0] + ij[1],
+            ij[0] if (ij[0] + ij[1]) % 2 else -ij[0],
+        ),
+    )
+    flat = np.array([i * n + j for i, j in order], dtype=np.int64)
+    return flat
+
+
+#: Flat scan order for 8x8 blocks (index into the row-major block).
+ZIGZAG_ORDER = _zigzag_order()
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Scan an 8x8 block into a 64-vector in zig-zag order."""
+    return block.reshape(-1)[ZIGZAG_ORDER]
+
+
+def inverse_zigzag(vector: np.ndarray) -> np.ndarray:
+    """Rebuild the 8x8 block from its zig-zag vector."""
+    block = np.zeros(BLOCK * BLOCK, dtype=vector.dtype)
+    block[ZIGZAG_ORDER] = vector
+    return block.reshape(BLOCK, BLOCK)
+
+
+def run_length_encode(vector: np.ndarray) -> List[Tuple[int, int]]:
+    """Encode a zig-zag vector as ``(zero_run, value)`` pairs.
+
+    A terminating ``(0, 0)`` pair marks end-of-block once only zeros
+    remain, as in JPEG's EOB symbol.
+    """
+    pairs: List[Tuple[int, int]] = []
+    run = 0
+    values = [int(v) for v in vector]
+    last_nonzero = -1
+    for index, value in enumerate(values):
+        if value != 0:
+            last_nonzero = index
+    for value in values[: last_nonzero + 1]:
+        if value == 0:
+            run += 1
+        else:
+            pairs.append((run, value))
+            run = 0
+    pairs.append((0, 0))
+    return pairs
+
+
+def run_length_decode(pairs: List[Tuple[int, int]], length: int = 64) -> np.ndarray:
+    """Decode ``(zero_run, value)`` pairs back into a vector."""
+    values: List[int] = []
+    for run, value in pairs:
+        if run == 0 and value == 0:
+            break
+        values.extend([0] * run)
+        values.append(value)
+    if len(values) > length:
+        raise ValueError("run-length data exceeds block size")
+    values.extend([0] * (length - len(values)))
+    return np.array(values, dtype=np.float64)

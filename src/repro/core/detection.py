@@ -1,0 +1,101 @@
+"""Fault detection bookkeeping shared by the replicator and selector.
+
+Detections are *events*: at some virtual instant a channel concludes from
+its occupancy counters alone (no timers, no timestamps — the paper's key
+efficiency claim) that one replica has suffered a timing fault.  This
+module records those events so experiments can compute detection latencies
+against the injection instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+#: Detection mechanisms, named after the paper's Section 3.3 paragraphs.
+MECHANISM_OVERFLOW = "overflow"  # replicator: space_k == 0 at a write
+MECHANISM_DIVERGENCE = "divergence"  # |space_1 - space_2| exceeds D
+MECHANISM_STALL = "stall"  # selector: space_k > |S_k|
+MECHANISM_VALUE = "value-mismatch"  # optional fail-silent assumption check
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One fault-detection event.
+
+    Attributes
+    ----------
+    time:
+        Virtual instant of the detection.
+    site:
+        ``"replicator"`` or ``"selector"`` — the paper shows both channels
+        detect faults independently.
+    replica:
+        Index of the replica deemed faulty (0-based).
+    mechanism:
+        One of the ``MECHANISM_*`` constants.
+    detail:
+        Free-form diagnostic (counter values at detection time).
+    """
+
+    time: float
+    site: str
+    replica: int
+    mechanism: str
+    detail: str = ""
+
+
+class DetectionLog:
+    """Ordered record of fault detections for one channel (or one run).
+
+    Observers subscribed with :meth:`subscribe` are invoked on every new
+    report — the multi-port fault coordinator uses this to quarantine a
+    flagged replica on *all* channels, not just the detecting one.
+    """
+
+    def __init__(self) -> None:
+        self.reports: List[FaultReport] = []
+        self._observers: List = []
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(report)`` to be called on each record."""
+        self._observers.append(observer)
+
+    def record(
+        self,
+        time: float,
+        site: str,
+        replica: int,
+        mechanism: str,
+        detail: str = "",
+    ) -> FaultReport:
+        """Append and return a new report."""
+        report = FaultReport(time, site, replica, mechanism, detail)
+        self.reports.append(report)
+        for observer in self._observers:
+            observer(report)
+        return report
+
+    def first(
+        self,
+        site: Optional[str] = None,
+        replica: Optional[int] = None,
+    ) -> Optional[FaultReport]:
+        """Earliest report matching the filters, or ``None``."""
+        for report in self.reports:
+            if site is not None and report.site != site:
+                continue
+            if replica is not None and report.replica != replica:
+                continue
+            return report
+        return None
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __bool__(self) -> bool:
+        return bool(self.reports)

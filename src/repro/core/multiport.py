@@ -1,0 +1,238 @@
+"""Critical subnetworks with multiple input and output channels.
+
+Section 2 of the paper: "All presented results are equally applicable to
+a general model with the critical subnetwork having multiple input and
+output channels."  This module constructs that general model:
+
+* one :class:`~repro.core.replicator.ReplicatorChannel` per input
+  channel and one :class:`~repro.core.selector.SelectorChannel` per
+  output channel, each sized independently by the Section 3.4 formulas
+  for its own interface models;
+* a :class:`FaultCoordinator` that implements the paper's *per-replica*
+  fault semantics: the instant any channel detects a timing fault of
+  replica ``k``, every other channel quarantines ``k`` as well — the
+  replica is condemned as a whole, its writes are discarded everywhere
+  and it can no longer cause back-pressure anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.detection import DetectionLog, FaultReport
+from repro.core.replicator import ReplicatorChannel
+from repro.core.selector import SelectorChannel
+from repro.kpn.channel import ReadEndpoint, WriteEndpoint
+from repro.kpn.network import Network
+from repro.kpn.process import Process
+from repro.kpn.tokens import Token
+from repro.kpn.trace import TraceRecorder
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import SizingResult, size_duplicated_network
+
+
+class FaultCoordinator:
+    """Propagates per-replica fault verdicts across all channels.
+
+    Subscribes to the shared :class:`DetectionLog`; on every report it
+    quarantines the flagged replica on every registered channel (the
+    detecting channel's own flag is already set, so the call is a no-op
+    there).
+    """
+
+    def __init__(self, log: DetectionLog) -> None:
+        self.log = log
+        self._channels: List = []
+        log.subscribe(self._on_report)
+
+    def register(self, channel) -> None:
+        """Add a channel exposing ``quarantine(replica)``."""
+        self._channels.append(channel)
+
+    def _on_report(self, report: FaultReport) -> None:
+        for channel in self._channels:
+            channel.quarantine(report.replica)
+
+
+@dataclass
+class MultiPortBlueprint:
+    """An application with ``m`` inputs and ``p`` outputs.
+
+    ``make_producers[i]`` / ``make_consumers[j]`` create the boundary
+    processes (their ``output`` / ``input`` endpoints are wired by the
+    builder); ``make_critical(net, prefix, variant, inputs, outputs)``
+    builds one replica reading from the given list of input endpoints
+    and writing to the given list of output endpoints.
+    """
+
+    name: str
+    make_producers: Sequence[Callable[[Network], Process]]
+    make_critical: Callable[
+        [Network, str, int, List[ReadEndpoint], List[WriteEndpoint]],
+        List[Process],
+    ]
+    make_consumers: Sequence[Callable[[Network], Process]]
+    make_priming: Optional[Callable[[int, int], tuple]] = None
+
+    def priming_tokens(self, channel: int, count: int) -> tuple:
+        factory = self.make_priming or (
+            lambda ch, i: (("__priming__", ch, i), 0)
+        )
+        tokens = []
+        for i in range(count):
+            value, size = factory(channel, i)
+            tokens.append(
+                Token(value=value, seqno=i - count + 1, stamp=0.0,
+                      size_bytes=size, origin="priming")
+            )
+        return tuple(tokens)
+
+
+@dataclass
+class MultiPortSizing:
+    """Per-channel Section 3.4 results.
+
+    ``inputs[i]`` / ``outputs[j]`` are full :class:`SizingResult` objects
+    computed for channel ``i`` / ``j`` in isolation (the replicator block
+    of ``inputs[i]`` and the selector block of ``outputs[j]`` are the
+    parts used).
+    """
+
+    inputs: List[SizingResult]
+    outputs: List[SizingResult]
+
+
+def size_multiport_network(
+    producers: Sequence[PJD],
+    replica_inputs: Sequence[Sequence[PJD]],
+    replica_outputs: Sequence[Sequence[PJD]],
+    consumers: Sequence[PJD],
+    horizon: Optional[float] = None,
+) -> MultiPortSizing:
+    """Size every channel of an ``m``-input / ``p``-output network.
+
+    ``replica_inputs[i]`` lists the two replicas' consumption models on
+    input channel ``i``; ``replica_outputs[j]`` their production models
+    on output channel ``j``.
+    """
+    if len(producers) != len(replica_inputs):
+        raise ValueError("one replica-input model pair per producer")
+    if len(consumers) != len(replica_outputs):
+        raise ValueError("one replica-output model pair per consumer")
+    inputs = [
+        size_duplicated_network(
+            producers[i], replica_inputs[i], replica_inputs[i],
+            producers[i], horizon
+        )
+        for i in range(len(producers))
+    ]
+    outputs = [
+        size_duplicated_network(
+            consumers[j], replica_outputs[j], replica_outputs[j],
+            consumers[j], horizon
+        )
+        for j in range(len(consumers))
+    ]
+    return MultiPortSizing(inputs=inputs, outputs=outputs)
+
+
+@dataclass
+class MultiPortNetwork:
+    """The assembled multi-port duplicated network."""
+
+    network: Network
+    producers: List[Process]
+    consumers: List[Process]
+    replicators: List[ReplicatorChannel]
+    selectors: List[SelectorChannel]
+    replicas: List[List[Process]]
+    detection_log: DetectionLog
+    coordinator: FaultCoordinator
+
+    def replica_process_names(self, replica: int) -> List[str]:
+        return [p.name for p in self.replicas[replica]]
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None):
+        sim = self.network.instantiate()
+        stats = sim.run(until=until, max_events=max_events)
+        return sim, stats
+
+
+def build_multiport(
+    blueprint: MultiPortBlueprint,
+    sizing: MultiPortSizing,
+    recorder: Optional[TraceRecorder] = None,
+    strict_single_fault: bool = True,
+) -> MultiPortNetwork:
+    """Assemble the multi-port duplicated network."""
+    recorder = recorder or TraceRecorder()
+    net = Network(f"{blueprint.name}-multiport", recorder=recorder)
+    log = DetectionLog()
+    coordinator = FaultCoordinator(log)
+
+    replicators: List[ReplicatorChannel] = []
+    for i, channel_sizing in enumerate(sizing.inputs):
+        replicator = ReplicatorChannel(
+            f"replicator{i}",
+            capacities=channel_sizing.replicator_capacities,
+            divergence_threshold=channel_sizing.replicator_threshold,
+            traces=(
+                recorder.channel(f"replicator{i}.R1"),
+                recorder.channel(f"replicator{i}.R2"),
+            ),
+            detection_log=log,
+            strict_single_fault=strict_single_fault,
+        )
+        net.add_channel(replicator)
+        coordinator.register(replicator)
+        replicators.append(replicator)
+
+    selectors: List[SelectorChannel] = []
+    for j, channel_sizing in enumerate(sizing.outputs):
+        selector = SelectorChannel(
+            f"selector{j}",
+            capacities=channel_sizing.selector_capacities,
+            divergence_threshold=channel_sizing.selector_threshold,
+            trace=recorder.channel(f"selector{j}.S"),
+            detection_log=log,
+            strict_single_fault=strict_single_fault,
+            priming_tokens=blueprint.priming_tokens(
+                j, channel_sizing.selector_priming
+            ),
+        )
+        net.add_channel(selector)
+        coordinator.register(selector)
+        selectors.append(selector)
+
+    producers = []
+    for i, factory in enumerate(blueprint.make_producers):
+        producer = factory(net)
+        producer.output = replicators[i].writer
+        producers.append(producer)
+    consumers = []
+    for j, factory in enumerate(blueprint.make_consumers):
+        consumer = factory(net)
+        consumer.input = selectors[j].reader
+        consumers.append(consumer)
+
+    replicas: List[List[Process]] = []
+    for variant in (0, 1):
+        inputs = [r.reader(variant) for r in replicators]
+        outputs = [s.writer(variant) for s in selectors]
+        processes = blueprint.make_critical(
+            net, f"R{variant + 1}", variant, inputs, outputs
+        )
+        replicas.append(processes)
+
+    return MultiPortNetwork(
+        network=net,
+        producers=producers,
+        consumers=consumers,
+        replicators=replicators,
+        selectors=selectors,
+        replicas=replicas,
+        detection_log=log,
+        coordinator=coordinator,
+    )

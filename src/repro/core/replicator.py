@@ -1,0 +1,259 @@
+"""The replicator channel (Section 3.1, rules R1-R3; detection: Section 3.3).
+
+One writing interface (the producer ``P``), two reading interfaces (the
+replicas ``R_1`` and ``R_2``).  Internally two FIFO queues of capacities
+``|R_1|`` and ``|R_2|``:
+
+1. each queue has ``fill_k`` / ``space_k`` variables, initially
+   ``fill_k = 0``, ``space_k = |R_k|``;
+2. each reading interface destructively and blockingly reads its own queue;
+3. a write enqueues the token into *both* queues if
+   ``min(space_1, space_2) > 0``, else it blocks.
+
+Fault detection (Section 3.3) replaces the blocking in rule 3: the queues
+were sized by Eq. 3 so that a healthy replica never lets its queue fill up;
+finding ``space_k == 0`` at a write instant therefore *is* the detection of
+a timing fault in replica ``k`` (``fault_k := TRUE``), after which the
+replicator stops inserting tokens into that queue — this is what prevents
+the deadlock of the motivational example (Section 1.1): the producer can
+no longer block on the faulty side, so the healthy replica keeps running.
+
+A second, "analogous" mechanism (the paper's threshold computation for the
+replicator channel) monitors the divergence of the replicas' *consumption*
+counts: if ``reads_i - reads_j > D`` then replica ``j`` is consuming too
+slowly and is flagged faulty.  Pass ``divergence_threshold=None`` to
+disable it and reproduce the occupancy-only variant.
+
+No wall-clock or virtual-time values are read by any detection rule —
+detection is purely counter-based, the paper's "no runtime time-keeping".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.core.detection import (
+    MECHANISM_DIVERGENCE,
+    MECHANISM_OVERFLOW,
+    DetectionLog,
+)
+from repro.kpn.errors import ProtocolError, SimulationError
+from repro.kpn.channel import ReadEndpoint, WriteEndpoint
+from repro.kpn.tokens import Token
+from repro.kpn.trace import ChannelTrace
+
+
+class ReplicatorChannel:
+    """A replicator channel with autonomous timing-fault detection.
+
+    Parameters
+    ----------
+    name:
+        Channel name.
+    capacities:
+        ``(|R_1|, |R_2|)`` from Eq. 3.
+    divergence_threshold:
+        Optional integer ``D`` for consumption-divergence detection
+        (Eq. 5 computed on the replica input curves); ``None`` disables.
+    transfer_latency:
+        Optional ``f(token) -> ms`` communication latency (SCC model).
+    traces:
+        Optional pair of :class:`ChannelTrace` (one per queue).
+    detection_log:
+        Shared :class:`DetectionLog`; a fresh one is created if omitted.
+    strict_single_fault:
+        When True (default), flagging *both* replicas faulty raises
+        :class:`SimulationError` — the paper's fault model admits at most
+        one permanent timing fault.
+    op_cost:
+        Optional callable invoked once per channel operation with the
+        number of primitive counter updates performed; feeds the runtime
+        overhead accounting of Table 2.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacities: Tuple[int, int],
+        divergence_threshold: Optional[int] = None,
+        transfer_latency: Optional[Callable[[Token], float]] = None,
+        traces: Optional[Tuple[ChannelTrace, ChannelTrace]] = None,
+        detection_log: Optional[DetectionLog] = None,
+        strict_single_fault: bool = True,
+        op_cost: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if len(capacities) != 2:
+            raise ValueError("replicator needs exactly two queue capacities")
+        if any(c < 1 for c in capacities):
+            raise ValueError("queue capacities must be >= 1")
+        if divergence_threshold is not None and divergence_threshold < 1:
+            raise ValueError("divergence threshold must be >= 1")
+        self.name = name
+        self.capacities = tuple(capacities)
+        self.threshold = divergence_threshold
+        self._latency = transfer_latency
+        self.traces = traces
+        # Note: `or` would misfire here — an empty DetectionLog is falsy.
+        self.log = detection_log if detection_log is not None else DetectionLog()
+        self.strict_single_fault = strict_single_fault
+        self._op_cost = op_cost
+        self._queues: Tuple[Deque, Deque] = (deque(), deque())
+        self.fault = [False, False]
+        self.reads = [0, 0]
+        self.writes = 0
+        self._sim = None
+        self._parked_readers: Tuple[List, List] = ([], [])
+        self._parked_writers: List = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, sim) -> None:
+        """Attach the simulator used to wake parked processes."""
+        self._sim = sim
+
+    @property
+    def writer(self) -> WriteEndpoint:
+        """The producer-facing write endpoint."""
+        return WriteEndpoint(self, 0)
+
+    def reader(self, replica: int) -> ReadEndpoint:
+        """The read endpoint of replica ``replica`` (0 or 1)."""
+        if replica not in (0, 1):
+            raise ValueError("replica index must be 0 or 1")
+        return ReadEndpoint(self, replica)
+
+    # -- state --------------------------------------------------------------
+
+    def fill(self, replica: int) -> int:
+        """``fill_k`` — tokens currently queued for replica ``replica``."""
+        return len(self._queues[replica])
+
+    def space(self, replica: int) -> int:
+        """``space_k`` — free capacity of queue ``replica``."""
+        return self.capacities[replica] - len(self._queues[replica])
+
+    @property
+    def any_fault(self) -> bool:
+        """True once any replica has been flagged."""
+        return any(self.fault)
+
+    # -- detection helpers ------------------------------------------------
+
+    def _charge(self, operations: int) -> None:
+        if self._op_cost is not None:
+            self._op_cost(operations)
+
+    def _flag(self, replica: int, mechanism: str, now: float, detail: str) -> None:
+        if self.fault[replica]:
+            return
+        self.fault[replica] = True
+        self.log.record(now, "replicator", replica, mechanism, detail)
+        if self.strict_single_fault and all(self.fault):
+            raise SimulationError(
+                f"{self.name}: both replicas flagged faulty — single-fault "
+                "assumption violated (or FIFO capacities under-sized)"
+            )
+        # The faulty queue will never be written again; a parked reader on
+        # it would wait forever, which models the faulty replica stalling.
+
+    def quarantine(self, replica: int) -> None:
+        """Mark a replica faulty without recording a detection.
+
+        Used by the multi-port fault coordinator when *another* channel
+        of the same replica detected the fault: the replica is condemned
+        as a whole (Section 2's fault model is per replica, not per
+        channel), so this channel stops serving it too.
+        """
+        if not self.fault[replica]:
+            self.fault[replica] = True
+
+    def _check_divergence(self, now: float) -> None:
+        if self.threshold is None or self.any_fault:
+            return
+        gap = self.reads[0] - self.reads[1]
+        if gap > self.threshold:
+            self._flag(
+                1,
+                MECHANISM_DIVERGENCE,
+                now,
+                f"reads={self.reads[0]}/{self.reads[1]} D={self.threshold}",
+            )
+        elif -gap > self.threshold:
+            self._flag(
+                0,
+                MECHANISM_DIVERGENCE,
+                now,
+                f"reads={self.reads[0]}/{self.reads[1]} D={self.threshold}",
+            )
+
+    # -- channel protocol (engine-facing) -----------------------------------
+
+    def poll_read(self, index: int, now: float):
+        if index not in (0, 1):
+            raise ProtocolError(f"{self.name}: bad read interface {index}")
+        queue = self._queues[index]
+        self._charge(1)  # fill/space update of one queue
+        if not queue:
+            return ("empty", None)
+        ready, token = queue[0]
+        if ready > now + 1e-12:
+            return ("wait", ready)
+        queue.popleft()
+        self.reads[index] += 1
+        if self.traces is not None:
+            self.traces[index].on_read(now, token.seqno, index)
+        self._check_divergence(now)
+        self._wake(self._parked_writers)
+        return ("ok", token)
+
+    def poll_write(self, index: int, token: Token, now: float):
+        if index != 0:
+            raise ProtocolError(f"{self.name}: bad write interface {index}")
+        self._charge(3)  # two space checks + enqueue bookkeeping
+        # Occupancy-based detection (Section 3.3): a full healthy queue at a
+        # write instant means that replica stopped (or slowed) consuming.
+        for k in (0, 1):
+            if not self.fault[k] and self.space(k) == 0:
+                self._flag(
+                    k,
+                    MECHANISM_OVERFLOW,
+                    now,
+                    f"space_{k + 1}=0 at write of seq {token.seqno}",
+                )
+        targets = [k for k in (0, 1) if not self.fault[k]]
+        if not targets:
+            # Only reachable with strict_single_fault=False.
+            return ("full", None)
+        delay = self._latency(token) if self._latency is not None else 0.0
+        for k in targets:
+            self._queues[k].append((now + delay, token))
+            if self.traces is not None:
+                self.traces[k].on_write(now, token.seqno, k)
+        self.writes += 1
+        for k in targets:
+            self._wake(self._parked_readers[k])
+        return ("ok", None)
+
+    def park_reader(self, index: int, handle) -> None:
+        if handle not in self._parked_readers[index]:
+            self._parked_readers[index].append(handle)
+
+    def park_writer(self, index: int, handle) -> None:
+        if handle not in self._parked_writers:
+            self._parked_writers.append(handle)
+
+    # -- internals ------------------------------------------------------------
+
+    def _wake(self, parked: List) -> None:
+        if self._sim is None:
+            parked.clear()
+            return
+        while parked:
+            self._sim.retry(parked.pop())
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatorChannel({self.name}, fills="
+            f"{self.fill(0)}/{self.fill(1)}, fault={self.fault})"
+        )

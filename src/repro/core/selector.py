@@ -1,0 +1,367 @@
+"""The selector channel (Section 3.1, rules S1-S3; detection: Section 3.3).
+
+Two writing interfaces (one per replica), one reading interface (the
+consumer ``C``).  A *single* physical FIFO of size ``|S| = max(|S_1|,
+|S_2|)`` plus two virtual ``space`` counters:
+
+1. ``fill = 0``, ``space_1 = |S_1|``, ``space_2 = |S_2|`` initially;
+2. the read interface destructively and blockingly reads the FIFO; a read
+   increments *both* space variables and decrements ``fill``;
+3. a write on interface ``k`` blocks if ``space_k == 0``; otherwise, if
+   ``space_k <= space_other`` the token is enqueued (``fill += 1``) and
+   ``space_k -= 1``; else only ``space_k -= 1`` and the token is dropped —
+   it is the late member of a duplicate pair whose early member interface
+   ``other`` already queued.
+
+Because ``space_k`` is only ever decremented by interface ``k``'s own
+writes (and incremented by consumer reads), back-pressure on one replica is
+never caused by the other — Lemma 1 (isolation), checked by the property
+tests.
+
+Fault detection (Section 3.3), both purely counter-based:
+
+* **stall**: after a read, ``space_k > |S_k|`` means the consumer has read
+  more tokens than replica ``k`` ever wrote — ``k`` would have stalled the
+  consumer and is faulty;
+* **divergence**: ``|space_1 - space_2| > D`` (with ``D`` from Eq. 5)
+  means the replicas' cumulative outputs diverged beyond the fault-free
+  bound — the one with *larger* space (fewer writes) is faulty.
+
+After replica ``k`` is flagged, its writes are accepted and discarded
+(never blocking the limping replica) and its counters freeze; the healthy
+interface continues with plain single-queue semantics.
+
+The optional ``verify_duplicates`` mode additionally checks the paper's
+fail-silent assumption at runtime: the late member of each duplicate pair
+must carry the same payload as the early member (determinacy, Section 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.detection import (
+    MECHANISM_DIVERGENCE,
+    MECHANISM_STALL,
+    MECHANISM_VALUE,
+    DetectionLog,
+)
+from repro.kpn.errors import ProtocolError, SimulationError
+from repro.kpn.channel import ReadEndpoint, WriteEndpoint
+from repro.kpn.tokens import Token
+from repro.kpn.trace import ChannelTrace
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Payload equality that tolerates numpy arrays and nested tuples."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(a, b))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            _values_equal(x, y) for x, y in zip(a, b)
+        )
+    return bool(a == b)
+
+
+class SelectorChannel:
+    """A selector channel with autonomous timing-fault detection.
+
+    Parameters
+    ----------
+    name:
+        Channel name.
+    capacities:
+        ``(|S_1|, |S_2|)`` — per-interface virtual queue bounds.
+    divergence_threshold:
+        Integer ``D`` from Eq. 5; ``None`` disables divergence detection
+        (stall detection remains).
+    transfer_latency:
+        Optional ``f(token) -> ms`` communication latency for enqueued
+        tokens.
+    trace:
+        Optional :class:`ChannelTrace` recording queue events (interface
+        recorded per event so per-replica curves can be calibrated).
+    detection_log:
+        Shared log; fresh one if omitted.
+    strict_single_fault:
+        Raise if both replicas get flagged (default True).
+    verify_duplicates:
+        Compare the payloads of duplicate pairs; a mismatch violates the
+        fail-silent fault model and is logged (and raised).
+    op_cost:
+        Optional per-operation cost hook for overhead accounting.
+    stall_detection:
+        Enable the ``space_k > |S_k|`` mechanism (default).  Ablation
+        studies disable it to isolate the divergence mechanism.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacities: Tuple[int, int],
+        divergence_threshold: Optional[int] = None,
+        transfer_latency: Optional[Callable[[Token], float]] = None,
+        trace: Optional[ChannelTrace] = None,
+        detection_log: Optional[DetectionLog] = None,
+        strict_single_fault: bool = True,
+        verify_duplicates: bool = False,
+        op_cost: Optional[Callable[[int], None]] = None,
+        priming_tokens: Tuple[Token, ...] = (),
+        stall_detection: bool = True,
+    ) -> None:
+        if len(capacities) != 2:
+            raise ValueError("selector needs exactly two virtual capacities")
+        if any(c < 1 for c in capacities):
+            raise ValueError("virtual capacities must be >= 1")
+        if divergence_threshold is not None and divergence_threshold < 1:
+            raise ValueError("divergence threshold must be >= 1")
+        if len(priming_tokens) > min(capacities):
+            raise ValueError(
+                "priming tokens exceed the smaller virtual capacity"
+            )
+        self.name = name
+        self.capacities = tuple(capacities)
+        self.threshold = divergence_threshold
+        self._latency = transfer_latency
+        self.trace = trace
+        # Note: `or` would misfire here — an empty DetectionLog is falsy.
+        self.log = detection_log if detection_log is not None else DetectionLog()
+        self.strict_single_fault = strict_single_fault
+        self.verify_duplicates = verify_duplicates
+        self.stall_detection = stall_detection
+        self._op_cost = op_cost
+        self.fifo_size = max(capacities)
+        # Priming tokens (Eq. 4 / the "Initial tokens" row of Table 2)
+        # pre-fill the physical FIFO and count against both virtual
+        # queues, so both virtual fills start equal and the comparison in
+        # rule 3 remains a first-of-pair test from the very first token.
+        self._queue: Deque[Tuple[float, Token]] = deque(
+            (0.0, token) for token in priming_tokens
+        )
+        self.priming = len(priming_tokens)
+        self.fill = self.priming
+        self.space = [
+            capacities[0] - self.priming,
+            capacities[1] - self.priming,
+        ]
+        if trace is not None and self.priming:
+            trace.preset_fill(self.priming)
+        self.fault = [False, False]
+        self.writes = [0, 0]
+        self.drops = [0, 0]
+        self.reads = 0
+        self._pending_values: Dict[int, Any] = {}
+        self._sim = None
+        self._parked_reader: List = []
+        self._parked_writers: Tuple[List, List] = ([], [])
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, sim) -> None:
+        """Attach the simulator used to wake parked processes."""
+        self._sim = sim
+
+    def writer(self, replica: int) -> WriteEndpoint:
+        """The write endpoint of replica ``replica`` (0 or 1)."""
+        if replica not in (0, 1):
+            raise ValueError("replica index must be 0 or 1")
+        return WriteEndpoint(self, replica)
+
+    @property
+    def reader(self) -> ReadEndpoint:
+        """The consumer-facing read endpoint."""
+        return ReadEndpoint(self, 0)
+
+    @property
+    def any_fault(self) -> bool:
+        """True once any replica has been flagged."""
+        return any(self.fault)
+
+    # -- detection helpers ------------------------------------------------
+
+    def _charge(self, operations: int) -> None:
+        if self._op_cost is not None:
+            self._op_cost(operations)
+
+    def _flag(self, replica: int, mechanism: str, now: float, detail: str) -> None:
+        if self.fault[replica]:
+            return
+        self.fault[replica] = True
+        self.log.record(now, "selector", replica, mechanism, detail)
+        self._pending_values.clear()
+        if self.strict_single_fault and all(self.fault):
+            raise SimulationError(
+                f"{self.name}: both replicas flagged faulty — single-fault "
+                "assumption violated (or capacities/threshold under-sized)"
+            )
+        # The healthy interface may have been parked behind a space_k == 0
+        # that a future read will clear; nothing else to do here.
+
+    def quarantine(self, replica: int) -> None:
+        """Mark a replica faulty without recording a detection.
+
+        Multi-port coordination: another channel of the same replica
+        detected the fault; this selector stops honouring the interface
+        (writes are discarded, counters freeze) and releases any writer
+        parked on it so the limping replica can never deadlock.
+        """
+        if not self.fault[replica]:
+            self.fault[replica] = True
+            self._pending_values.clear()
+            self._wake(self._parked_writers[replica])
+
+    def _check_divergence(self, now: float) -> None:
+        # The quantity Eq. 5 bounds is the difference in the total number
+        # of tokens received over the two interfaces.  For equal virtual
+        # capacities it equals the paper's |space_1 - space_2|; tracking
+        # the write counters directly keeps it correct for unequal
+        # capacities too (|S_1| != |S_2| would otherwise bias the space
+        # difference by the constant |S_1| - |S_2|).
+        if self.threshold is None or self.any_fault:
+            return
+        gap = self.writes[0] - self.writes[1]
+        if gap > self.threshold:
+            self._flag(
+                1,
+                MECHANISM_DIVERGENCE,
+                now,
+                f"writes={self.writes[0]}/{self.writes[1]} D={self.threshold}",
+            )
+        elif -gap > self.threshold:
+            self._flag(
+                0,
+                MECHANISM_DIVERGENCE,
+                now,
+                f"writes={self.writes[0]}/{self.writes[1]} D={self.threshold}",
+            )
+
+    def _check_stall(self, now: float) -> None:
+        if not self.stall_detection:
+            return
+        for k in (0, 1):
+            if not self.fault[k] and self.space[k] > self.capacities[k]:
+                self._flag(
+                    k,
+                    MECHANISM_STALL,
+                    now,
+                    f"space_{k + 1}={self.space[k]} > |S_{k + 1}|="
+                    f"{self.capacities[k]}",
+                )
+
+    def _verify_pair(self, seqno: int, late_value: Any, now: float,
+                     late_interface: int) -> None:
+        if not self.verify_duplicates:
+            return
+        early_value = self._pending_values.pop(seqno, None)
+        if early_value is None:
+            return
+        if not _values_equal(early_value, late_value):
+            self.log.record(
+                now,
+                "selector",
+                late_interface,
+                MECHANISM_VALUE,
+                f"payload mismatch at seq {seqno}",
+            )
+            raise SimulationError(
+                f"{self.name}: duplicate pair {seqno} differs in value — "
+                "the network is not fail-silent/determinate"
+            )
+
+    # -- channel protocol (engine-facing) -----------------------------------
+
+    def poll_read(self, index: int, now: float):
+        if index != 0:
+            raise ProtocolError(f"{self.name}: bad read interface {index}")
+        self._charge(3)  # fill decrement + two space increments
+        if not self._queue:
+            return ("empty", None)
+        ready, token = self._queue[0]
+        if ready > now + 1e-12:
+            return ("wait", ready)
+        self._queue.popleft()
+        self.fill -= 1
+        self.reads += 1
+        for k in (0, 1):
+            if not self.fault[k]:
+                self.space[k] += 1
+        if self.trace is not None:
+            self.trace.on_read(now, token.seqno)
+        self._check_stall(now)
+        self._check_divergence(now)
+        for k in (0, 1):
+            self._wake(self._parked_writers[k])
+        return ("ok", token)
+
+    def poll_write(self, index: int, token: Token, now: float):
+        if index not in (0, 1):
+            raise ProtocolError(f"{self.name}: bad write interface {index}")
+        self._charge(3)  # space compare + space decrement + fill update
+        if self.fault[index]:
+            # Isolation after detection: accept and discard, never block.
+            self.drops[index] += 1
+            if self.trace is not None:
+                self.trace.on_drop(now, token.seqno, index)
+            return ("ok", None)
+        if self.space[index] == 0:
+            return ("full", None)
+        other = 1 - index
+        # Enqueue iff this interface provides the *first* token of the
+        # current duplicate pair.  The first-of-pair writer has a virtual
+        # fill (|S_k| - space_k) at least as large as the other interface's;
+        # the late writer's is strictly smaller.  For |S_1| == |S_2| this is
+        # exactly the paper's rule "enqueue iff space_k <= space_other";
+        # with unequal capacities the fill comparison removes the constant
+        # capacity bias.
+        fill_self = self.capacities[index] - self.space[index]
+        fill_other = self.capacities[other] - self.space[other]
+        enqueue = self.fault[other] or fill_self >= fill_other
+        self.space[index] -= 1
+        self.writes[index] += 1
+        if enqueue:
+            if self.fill >= self.fifo_size:
+                raise SimulationError(
+                    f"{self.name}: physical FIFO overflow (fill={self.fill},"
+                    f" |S|={self.fifo_size}) — sizing violated"
+                )
+            delay = self._latency(token) if self._latency is not None else 0.0
+            self._queue.append((now + delay, token))
+            self.fill += 1
+            if self.trace is not None:
+                self.trace.on_write(now, token.seqno, index)
+            if self.verify_duplicates and not self.any_fault:
+                self._pending_values[token.seqno] = token.value
+            self._wake(self._parked_reader)
+        else:
+            self.drops[index] += 1
+            if self.trace is not None:
+                self.trace.on_drop(now, token.seqno, index)
+            self._verify_pair(token.seqno, token.value, now, index)
+        self._check_divergence(now)
+        return ("ok", None)
+
+    def park_reader(self, index: int, handle) -> None:
+        if handle not in self._parked_reader:
+            self._parked_reader.append(handle)
+
+    def park_writer(self, index: int, handle) -> None:
+        if handle not in self._parked_writers[index]:
+            self._parked_writers[index].append(handle)
+
+    # -- internals ------------------------------------------------------------
+
+    def _wake(self, parked: List) -> None:
+        if self._sim is None:
+            parked.clear()
+            return
+        while parked:
+            self._sim.retry(parked.pop())
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectorChannel({self.name}, fill={self.fill}, "
+            f"space={self.space}, fault={self.fault})"
+        )

@@ -1,0 +1,59 @@
+"""Experiment harnesses regenerating the paper's tables.
+
+* :mod:`~repro.experiments.runner` — single-run primitives (reference run,
+  duplicated fault-free run, duplicated faulted run);
+* :mod:`~repro.experiments.table1` — the configuration table;
+* :mod:`~repro.experiments.table2` — the fault-tolerance results table
+  (capacities vs observed fills, detection latencies vs bounds, overheads,
+  decoded inter-frame timings);
+* :mod:`~repro.experiments.table3` — the comparison against the
+  distance-function baseline;
+* :mod:`~repro.experiments.ablations` — threshold / polling / capacity
+  sweeps for the design choices called out in DESIGN.md.
+"""
+
+from repro.experiments.runner import (
+    DuplicatedRun,
+    ReferenceRun,
+    run_duplicated,
+    run_reference,
+)
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.experiments.table2 import Table2Result, render_table2, run_table2
+from repro.experiments.table3 import Table3Result, render_table3, run_table3
+from repro.experiments.reproduce import ReproductionResult, reproduce_all
+from repro.experiments.validation import (
+    ConformanceViolation,
+    ValidationReport,
+    check_curve_conformance,
+    validate_run,
+)
+from repro.experiments.ablations import (
+    capacity_margin_sweep,
+    polling_interval_sweep,
+    threshold_sweep,
+)
+
+__all__ = [
+    "ReproductionResult",
+    "reproduce_all",
+    "ConformanceViolation",
+    "ValidationReport",
+    "check_curve_conformance",
+    "validate_run",
+    "DuplicatedRun",
+    "ReferenceRun",
+    "run_duplicated",
+    "run_reference",
+    "render_table1",
+    "table1_rows",
+    "Table2Result",
+    "render_table2",
+    "run_table2",
+    "Table3Result",
+    "render_table3",
+    "run_table3",
+    "capacity_margin_sweep",
+    "polling_interval_sweep",
+    "threshold_sweep",
+]

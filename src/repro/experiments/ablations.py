@@ -1,0 +1,235 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* :func:`threshold_sweep` (A1) — detection latency and false-positive
+  count as the selector divergence threshold ``D`` moves below / above
+  the Eq. 5 value.  Shows Eq. 5 is tight: smaller D detects faster but
+  false-positives; larger D only adds latency.
+* :func:`polling_interval_sweep` (A2) — the distance-function baseline's
+  latency as a function of its polling period (the paper's Section 4.3
+  discussion: finer polling costs overhead, coarser adds latency).
+* :func:`capacity_margin_sweep` (A3) — fault-free false positives when
+  the replicator capacities are scaled below the Eq. 3 values, and the
+  latency cost of over-provisioning above them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.stats import summarize
+from repro.apps.base import StreamingApplication
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.experiments.table3 import _monitor_factory
+from repro.faults.models import FAIL_STOP, FaultSpec
+from repro.kpn.errors import SimulationError
+
+
+@dataclass
+class SweepPoint:
+    """One point of an ablation sweep."""
+
+    parameter: float
+    mean_latency_ms: Optional[float]
+    false_positives: int
+    detected_runs: int
+    runs: int
+
+
+def _with_selector_threshold(sizing, threshold: int):
+    return dataclasses.replace(sizing, selector_threshold=threshold)
+
+
+def _mechanism_latency(run, fault, mechanism: str):
+    """Post-injection latency of a specific detection mechanism."""
+    if run.injector is None or run.injector.injected_at is None:
+        return None
+    for report in run.detections:
+        if report.mechanism != mechanism:
+            continue
+        if report.replica != fault.replica:
+            continue
+        if report.time < run.injector.injected_at:
+            continue
+        return report.time - run.injector.injected_at
+    return None
+
+
+def _with_replicator_capacities(sizing, capacities):
+    return dataclasses.replace(
+        sizing, replicator_capacities=tuple(capacities)
+    )
+
+
+def threshold_sweep(
+    app: StreamingApplication,
+    thresholds: Sequence[int],
+    runs: int = 5,
+    warmup_tokens: int = 80,
+    post_tokens: int = 30,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """A1: sweep the selector divergence threshold ``D``."""
+    base_sizing = app.sizing()
+    tokens = warmup_tokens + post_tokens
+    points: List[SweepPoint] = []
+    for threshold in thresholds:
+        sizing = _with_selector_threshold(base_sizing, threshold)
+        latencies: List[float] = []
+        false_positives = 0
+        detected = 0
+        for r in range(runs):
+            seed = base_seed + r
+            # Fault-free run: count false positives at this threshold.
+            try:
+                clean = run_duplicated(
+                    app, tokens, seed, sizing=sizing,
+                    strict_single_fault=False,
+                )
+                false_positives += sum(
+                    1 for d in clean.detections if d.site == "selector"
+                )
+            except SimulationError:
+                false_positives += 2
+            fault = FaultSpec(
+                replica=r % 2,
+                time=fault_time_for(app, warmup_tokens, phase=0.3),
+                kind=FAIL_STOP,
+            )
+            # D parameterises the divergence mechanism specifically; the
+            # redundant stall mechanism (which fires first for these
+            # configurations, making total detection latency flat in D)
+            # is disabled so the sweep isolates the quantity under study.
+            run = run_duplicated(
+                app, tokens, seed, fault=fault, sizing=sizing,
+                strict_single_fault=False,
+                selector_stall_detection=False,
+            )
+            latency = _mechanism_latency(run, fault, "divergence")
+            if latency is not None:
+                detected += 1
+                latencies.append(latency)
+        points.append(
+            SweepPoint(
+                parameter=float(threshold),
+                mean_latency_ms=(
+                    summarize(latencies).mean if latencies else None
+                ),
+                false_positives=false_positives,
+                detected_runs=detected,
+                runs=runs,
+            )
+        )
+    return points
+
+
+def polling_interval_sweep(
+    app: StreamingApplication,
+    intervals: Sequence[float],
+    runs: int = 5,
+    warmup_tokens: int = 80,
+    post_tokens: int = 30,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """A2: sweep the distance-function baseline's polling period."""
+    app = app.minimized()
+    sizing = app.sizing()
+    tokens = warmup_tokens + post_tokens
+    stop_time = (tokens + 20) * app.producer_model.period
+    points: List[SweepPoint] = []
+    for interval in intervals:
+        latencies: List[float] = []
+        detected = 0
+        for r in range(runs):
+            seed = base_seed + r
+            fault = FaultSpec(
+                replica=r % 2,
+                time=fault_time_for(app, warmup_tokens, phase=0.3),
+                kind=FAIL_STOP,
+            )
+            run = run_duplicated(
+                app, tokens, seed, fault=fault, sizing=sizing,
+                record_events=True,
+                monitor_factory=_monitor_factory(app, interval, stop_time),
+            )
+            monitor = run.network.network.process("distance-monitor")
+            detection = monitor.first_detection(stream=fault.replica)
+            if detection is not None and run.injector.injected_at is not None:
+                detected += 1
+                latencies.append(detection.time - run.injector.injected_at)
+        points.append(
+            SweepPoint(
+                parameter=float(interval),
+                mean_latency_ms=(
+                    summarize(latencies).mean if latencies else None
+                ),
+                false_positives=0,
+                detected_runs=detected,
+                runs=runs,
+            )
+        )
+    return points
+
+
+def capacity_margin_sweep(
+    app: StreamingApplication,
+    scale_factors: Sequence[float],
+    runs: int = 5,
+    warmup_tokens: int = 80,
+    post_tokens: int = 30,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """A3: scale the replicator capacities around the Eq. 3 values."""
+    base_sizing = app.sizing()
+    tokens = warmup_tokens + post_tokens
+    points: List[SweepPoint] = []
+    for factor in scale_factors:
+        capacities = tuple(
+            max(1, round(c * factor))
+            for c in base_sizing.replicator_capacities
+        )
+        sizing = _with_replicator_capacities(base_sizing, capacities)
+        latencies: List[float] = []
+        false_positives = 0
+        detected = 0
+        for r in range(runs):
+            seed = base_seed + r
+            try:
+                clean = run_duplicated(
+                    app, tokens, seed, sizing=sizing,
+                    strict_single_fault=False,
+                )
+                false_positives += sum(
+                    1 for d in clean.detections if d.site == "replicator"
+                )
+            except SimulationError:
+                false_positives += 2
+            fault = FaultSpec(
+                replica=r % 2,
+                time=fault_time_for(app, warmup_tokens, phase=0.3),
+                kind=FAIL_STOP,
+            )
+            try:
+                run = run_duplicated(
+                    app, tokens, seed, fault=fault, sizing=sizing,
+                    strict_single_fault=False,
+                )
+            except SimulationError:
+                continue
+            latency = run.detection_latency("replicator")
+            if latency is not None:
+                detected += 1
+                latencies.append(latency)
+        points.append(
+            SweepPoint(
+                parameter=float(factor),
+                mean_latency_ms=(
+                    summarize(latencies).mean if latencies else None
+                ),
+                false_positives=false_positives,
+                detected_runs=detected,
+                runs=runs,
+            )
+        )
+    return points

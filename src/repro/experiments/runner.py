@@ -1,0 +1,208 @@
+"""Single-run experiment primitives.
+
+All experiments are built from three runs:
+
+* :func:`run_reference` — the un-replicated network of Figure 1 (top);
+* :func:`run_duplicated` — the duplicated network, optionally with a
+  fault injected and/or baseline monitors attached.
+
+Finite-run hygiene: the consumer is given exactly ``tokens + priming``
+reads so the pipeline drains completely — otherwise end-of-run
+back-pressure would look like a timing fault (a real system runs forever;
+a finite experiment must end in quiescence, not congestion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.apps.base import StreamingApplication
+from repro.core.detection import FaultReport
+from repro.core.duplicate import (
+    DuplicatedNetwork,
+    build_duplicated,
+    build_reference,
+)
+from repro.core.overhead import (
+    OverheadModel,
+    OverheadReport,
+    replicator_overhead,
+    selector_overhead,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSpec
+from repro.kpn.process import Process
+from repro.kpn.trace import TraceRecorder
+from repro.rtc.sizing import SizingResult
+
+#: Safety cap on simulator events per run (well above any legitimate run).
+MAX_EVENTS_PER_TOKEN = 400
+
+
+@dataclass
+class ReferenceRun:
+    """Outcome of one reference-network run."""
+
+    values: List[Any]
+    times: List[float]
+    inter_arrival: List[float]
+    stalls: int
+    max_fills: dict
+    events: int
+
+
+@dataclass
+class DuplicatedRun:
+    """Outcome of one duplicated-network run."""
+
+    values: List[Any]
+    times: List[float]
+    inter_arrival: List[float]
+    stalls: int
+    max_fills: dict
+    events: int
+    detections: List[FaultReport]
+    injector: Optional[FaultInjector]
+    selector_drops: List[int]
+    overhead_replicator: OverheadReport
+    overhead_selector: OverheadReport
+    network: DuplicatedNetwork = field(repr=False, default=None)
+
+    def detection_latency(self, site: Optional[str] = None
+                          ) -> Optional[float]:
+        """Injection-to-detection latency (ms) at an optional site."""
+        if self.injector is None:
+            return None
+        return self.injector.detection_latency(self.network, site=site)
+
+
+def fault_time_for(app: StreamingApplication, warmup_tokens: int,
+                   phase: float = 0.25) -> float:
+    """The injection instant: ``phase`` of a period past the warmup-th
+    producer release (the paper injects "after 18,000 frames")."""
+    period = app.producer_model.period
+    return warmup_tokens * period + phase * period
+
+
+def run_reference(
+    app: StreamingApplication,
+    tokens: int,
+    seed: int,
+    sizing: Optional[SizingResult] = None,
+    variant: int = 0,
+) -> ReferenceRun:
+    """Build and run the reference network to quiescence."""
+    sizing = sizing or app.sizing()
+    blueprint = app.blueprint(
+        tokens, tokens + sizing.selector_priming, seed=seed
+    )
+    reference = build_reference(
+        blueprint,
+        input_capacity=sizing.replicator_capacities[variant],
+        output_capacity=sizing.selector_fifo_size,
+        variant=variant,
+        initial_fill=sizing.selector_priming,
+    )
+    _sim, stats = reference.run(max_events=tokens * MAX_EVENTS_PER_TOKEN)
+    consumer = reference.consumer
+    return ReferenceRun(
+        values=[t.value for t in consumer.tokens],
+        times=list(consumer.arrival_times),
+        inter_arrival=consumer.inter_arrival_times(),
+        stalls=consumer.stalls,
+        max_fills=reference.network.max_fills(),
+        events=stats.events,
+    )
+
+
+def run_duplicated(
+    app: StreamingApplication,
+    tokens: int,
+    seed: int,
+    fault: Optional[FaultSpec] = None,
+    sizing: Optional[SizingResult] = None,
+    record_events: bool = False,
+    verify_duplicates: bool = False,
+    replicator_divergence: bool = True,
+    monitors: Sequence[Process] = (),
+    monitor_factory=None,
+    overhead_model: Optional[OverheadModel] = None,
+    strict_single_fault: bool = True,
+    selector_stall_detection: bool = True,
+    transfer_latency: Optional[Callable] = None,
+) -> DuplicatedRun:
+    """Build and run the duplicated network to quiescence.
+
+    ``monitor_factory(dup, recorder) -> [Process]`` lets baselines attach
+    polling monitors that observe channel traces (requires
+    ``record_events=True``).  ``transfer_latency`` optionally installs a
+    communication-latency model (e.g. from the SCC layer) on the
+    framework channels.
+    """
+    sizing = sizing or app.sizing()
+    blueprint = app.blueprint(
+        tokens, tokens + sizing.selector_priming, seed=seed
+    )
+    if transfer_latency is not None:
+        blueprint = dataclasses.replace(
+            blueprint, transfer_latency=transfer_latency
+        )
+    recorder = TraceRecorder(record_events=record_events)
+    duplicated = build_duplicated(
+        blueprint,
+        sizing,
+        replicator_divergence=replicator_divergence,
+        verify_duplicates=verify_duplicates,
+        strict_single_fault=strict_single_fault,
+        recorder=recorder,
+        selector_stall_detection=selector_stall_detection,
+    )
+    for monitor in monitors:
+        duplicated.network.add_process(monitor)
+    if monitor_factory is not None:
+        for monitor in monitor_factory(duplicated, recorder):
+            duplicated.network.add_process(monitor)
+    sim = duplicated.network.instantiate()
+    injector = None
+    if fault is not None:
+        injector = FaultInjector(fault)
+        injector.arm(sim, duplicated)
+    stats = sim.run(max_events=tokens * MAX_EVENTS_PER_TOKEN)
+
+    model = overhead_model or OverheadModel()
+    consumer = duplicated.consumer
+    tokens_through = duplicated.replicator.writes or 1
+    overhead_r = replicator_overhead(
+        model,
+        duplicated.replicator_ops,
+        sizing.replicator_capacities,
+        app.token_bytes_in,
+        tokens_through,
+        app.app_code_bytes,
+        app.period_ms,
+    )
+    overhead_s = selector_overhead(
+        model,
+        duplicated.selector_ops,
+        sizing.selector_capacities,
+        app.token_bytes_out,
+        max(consumer.count, 1),
+        app.app_code_bytes,
+        app.period_ms,
+    )
+    return DuplicatedRun(
+        values=[t.value for t in consumer.tokens],
+        times=list(consumer.arrival_times),
+        inter_arrival=consumer.inter_arrival_times(),
+        stalls=consumer.stalls,
+        max_fills=duplicated.network.max_fills(),
+        events=stats.events,
+        detections=list(duplicated.detection_log),
+        injector=injector,
+        selector_drops=list(duplicated.selector.drops),
+        overhead_replicator=overhead_r,
+        overhead_selector=overhead_s,
+        network=duplicated,
+    )

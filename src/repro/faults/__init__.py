@@ -1,0 +1,31 @@
+"""Timing-fault models and the injector.
+
+The paper's fault model (Section 2): at most one *permanent timing fault*,
+eventually observed when the faulty replica "either stops producing (or
+consuming) tokens, or does so at a rate lower than expected".  Both shapes
+are provided:
+
+* :data:`FAIL_STOP` — the replica's processes halt at the injection
+  instant (the shape used in the paper's experiments, Section 4.2);
+* :data:`RATE_DEGRADE` — the replica's processes keep running with all
+  service times scaled up by a slowdown factor.
+"""
+
+from repro.faults.models import (
+    FAIL_STOP,
+    RATE_DEGRADE,
+    FaultSpec,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FAIL_STOP", "RATE_DEGRADE", "FaultSpec", "FaultInjector"]
+
+from repro.faults.scenarios import (  # noqa: E402
+    PhasePoint,
+    ScenarioResult,
+    phase_sweep,
+    scenario_matrix,
+)
+
+__all__ += ["PhasePoint", "ScenarioResult", "phase_sweep",
+            "scenario_matrix"]

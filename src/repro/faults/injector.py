@@ -1,0 +1,62 @@
+"""Scheduling faults into a running simulation.
+
+The injector arms a :class:`~repro.faults.models.FaultSpec` against an
+instantiated duplicated network: at the injection instant it either kills
+every process of the faulty replica (fail-stop) or scales their service
+times (rate degradation).  Processes honour rate degradation through their
+``slowdown`` attribute, which :class:`~repro.kpn.process.FunctionProcess`
+and all application processes consult when computing service times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.duplicate import DuplicatedNetwork
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.kpn.simulator import Simulator
+
+
+class FaultInjector:
+    """Arms one fault specification on one duplicated network run."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.injected_at: Optional[float] = None
+
+    def arm(self, sim: Simulator, duplicated: DuplicatedNetwork) -> None:
+        """Schedule the fault; call after ``network.instantiate(sim)``."""
+        victims = duplicated.replicas[self.spec.replica]
+        names: List[str] = [p.name for p in victims]
+
+        def fire() -> None:
+            self.injected_at = sim.now
+            if self.spec.kind == FAIL_STOP:
+                for name in names:
+                    sim.kill(name)
+            elif self.spec.kind == RATE_DEGRADE:
+                for process in victims:
+                    process.slowdown = self.spec.slowdown
+
+        sim.schedule_at(self.spec.time, fire)
+
+    def detection_latency(self, duplicated: DuplicatedNetwork,
+                          site: Optional[str] = None) -> Optional[float]:
+        """Latency between injection and the first (filtered) detection,
+        or ``None`` if the fault was never detected / never injected.
+
+        Reports from *before* the injection instant (false positives of a
+        deliberately under-sized configuration) are not detections of
+        this fault and are excluded.
+        """
+        if self.injected_at is None:
+            return None
+        for report in duplicated.detection_log:
+            if site is not None and report.site != site:
+                continue
+            if report.replica != self.spec.replica:
+                continue
+            if report.time < self.injected_at:
+                continue
+            return report.time - self.injected_at
+        return None

@@ -1,0 +1,185 @@
+"""Bounded FIFO channels with blocking semantics.
+
+A :class:`Fifo` is the communication primitive of Section 2: finite
+capacity, destructive blocking reads, blocking writes, single reader and
+single writer.  The multi-interface replicator and selector channels of the
+paper live in :mod:`repro.core` and implement the same engine-facing
+protocol, so the simulator treats all of them uniformly.
+
+Channel protocol (duck typing, consumed by
+:class:`~repro.kpn.simulator.Simulator`):
+
+``poll_read(index, now) -> (status, payload)``
+    ``("ok", token)`` — read committed; ``("wait", t)`` — a token is in
+    flight and readable at virtual time ``t``; ``("empty", None)`` — park.
+``poll_write(index, token, now) -> (status, None)``
+    ``("ok", None)`` — write committed; ``("full", None)`` — park.
+``park_reader(index, handle)`` / ``park_writer(index, handle)``
+    Register a blocked process; the channel wakes it via
+    :meth:`Simulator.retry` when its state changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.kpn.errors import ProtocolError
+from repro.kpn.tokens import Token
+from repro.kpn.trace import ChannelTrace
+
+
+class ReadEndpoint:
+    """A (channel, reading-interface) pair a process reads from."""
+
+    __slots__ = ("channel", "index")
+
+    def __init__(self, channel, index: int = 0) -> None:
+        self.channel = channel
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"ReadEndpoint({self.channel.name}[{self.index}])"
+
+
+class WriteEndpoint:
+    """A (channel, writing-interface) pair a process writes to."""
+
+    __slots__ = ("channel", "index")
+
+    def __init__(self, channel, index: int = 0) -> None:
+        self.channel = channel
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"WriteEndpoint({self.channel.name}[{self.index}])"
+
+
+class Fifo:
+    """A bounded single-reader single-writer FIFO channel.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name (used in traces and error messages).
+    capacity:
+        Maximum number of tokens queued or in flight (``|F_i|``).
+    transfer_latency:
+        Optional ``f(token) -> delay_ms`` modelling communication time;
+        the SCC layer supplies mesh/MPB latencies here.  A written token
+        only becomes readable ``delay`` after the write instant, but it
+        occupies FIFO space immediately (back-pressure is conservative).
+    trace:
+        Optional :class:`~repro.kpn.trace.ChannelTrace` to record events.
+    initial_tokens:
+        Tokens pre-filling the queue at time zero (the ``F_{C,0}`` /
+        ``|S_k|_0`` priming of Eq. 4).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        transfer_latency: Optional[Callable[[Token], float]] = None,
+        trace: Optional[ChannelTrace] = None,
+        initial_tokens: Tuple[Token, ...] = (),
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if len(initial_tokens) > capacity:
+            raise ValueError("initial tokens exceed capacity")
+        self.name = name
+        self.capacity = capacity
+        self._latency = transfer_latency
+        self.trace = trace
+        self._queue: Deque[Tuple[float, Token]] = deque(
+            (0.0, token) for token in initial_tokens
+        )
+        if trace is not None and initial_tokens:
+            trace.preset_fill(len(initial_tokens))
+        self._sim = None
+        self._parked_readers: List = []
+        self._parked_writers: List = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, sim) -> None:
+        """Attach the simulator used to wake parked processes."""
+        self._sim = sim
+
+    @property
+    def reader(self) -> ReadEndpoint:
+        """The single read endpoint."""
+        return ReadEndpoint(self, 0)
+
+    @property
+    def writer(self) -> WriteEndpoint:
+        """The single write endpoint."""
+        return WriteEndpoint(self, 0)
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def fill(self) -> int:
+        """Number of tokens queued (including in flight)."""
+        return len(self._queue)
+
+    @property
+    def space(self) -> int:
+        """Free capacity."""
+        return self.capacity - len(self._queue)
+
+    def peek_ready_time(self) -> Optional[float]:
+        """Arrival time of the head token, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    # -- channel protocol -----------------------------------------------------
+
+    def poll_read(self, index: int, now: float):
+        if index != 0:
+            raise ProtocolError(f"{self.name}: bad read interface {index}")
+        if not self._queue:
+            return ("empty", None)
+        ready, token = self._queue[0]
+        if ready > now + 1e-12:
+            return ("wait", ready)
+        self._queue.popleft()
+        if self.trace is not None:
+            self.trace.on_read(now, token.seqno)
+        self._wake(self._parked_writers)
+        return ("ok", token)
+
+    def poll_write(self, index: int, token: Token, now: float):
+        if index != 0:
+            raise ProtocolError(f"{self.name}: bad write interface {index}")
+        if len(self._queue) >= self.capacity:
+            return ("full", None)
+        delay = self._latency(token) if self._latency is not None else 0.0
+        self._queue.append((now + delay, token))
+        if self.trace is not None:
+            self.trace.on_write(now, token.seqno)
+        self._wake(self._parked_readers)
+        return ("ok", None)
+
+    def park_reader(self, index: int, handle) -> None:
+        if handle not in self._parked_readers:
+            self._parked_readers.append(handle)
+
+    def park_writer(self, index: int, handle) -> None:
+        if handle not in self._parked_writers:
+            self._parked_writers.append(handle)
+
+    # -- internals ------------------------------------------------------------
+
+    def _wake(self, parked: List) -> None:
+        if self._sim is None:
+            parked.clear()
+            return
+        while parked:
+            handle = parked.pop()
+            self._sim.retry(handle)
+
+    def __repr__(self) -> str:
+        return f"Fifo({self.name}, fill={self.fill}/{self.capacity})"

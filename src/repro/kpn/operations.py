@@ -1,0 +1,51 @@
+"""Operations a process may yield to the simulator.
+
+Processes are Python generators.  Each ``yield`` hands the simulator one of
+the operations below; the simulator completes it (possibly after blocking in
+virtual time) and resumes the generator with the operation's result:
+
+* ``token = yield Read(endpoint)`` — destructive blocking read;
+* ``yield Write(endpoint, token)`` — blocking write;
+* ``yield Delay(duration)`` — advance virtual time (models computation);
+* ``yield Halt()`` — terminate the process cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Operation:
+    """Marker base class for yielded operations."""
+
+
+@dataclass(frozen=True)
+class Read(Operation):
+    """Blocking destructive read from a channel read endpoint."""
+
+    endpoint: Any
+
+
+@dataclass(frozen=True)
+class Write(Operation):
+    """Blocking write of ``token`` to a channel write endpoint."""
+
+    endpoint: Any
+    token: Any
+
+
+@dataclass(frozen=True)
+class Delay(Operation):
+    """Advance the process's local virtual time by ``duration`` (>= 0)."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"delay must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class Halt(Operation):
+    """Terminate the process."""

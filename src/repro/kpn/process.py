@@ -1,0 +1,395 @@
+"""Process base class and the standard process shapes.
+
+All processes are generator-based (see :mod:`repro.kpn.operations`).  The
+shapes provided here cover the paper's experimental setup:
+
+* :class:`PeriodicSource` — a producer ``P`` releasing tokens on a PJD
+  schedule (Table 1 "Input Encoded Frame Rate" / "Input Data Sample Rate");
+* :class:`PeriodicConsumer` — a consumer ``C`` issuing reads on a PJD
+  schedule and recording arrival statistics (the "Consumer Token
+  Consumption" column and the decoded inter-frame timing block of
+  Table 2);
+* :class:`FunctionProcess` — a worker that reads one token, computes for a
+  (possibly jittered) service time, and writes one transformed token;
+* :class:`RecordingSink` — a greedy reader used by equivalence checks.
+
+Application-specific processes (split-stream, merge-frame, motion
+estimation, ...) subclass :class:`Process` directly in :mod:`repro.apps`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kpn.channel import ReadEndpoint, WriteEndpoint
+from repro.kpn.errors import ProtocolError
+from repro.kpn.operations import Delay, Read, Write
+from repro.kpn.tokens import Token
+from repro.rtc.pjd import PJD
+
+
+def pjd_schedule(
+    model: PJD,
+    count: int,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> List[float]:
+    """Generate ``count`` event instants conforming to a PJD model.
+
+    Event ``i`` is placed at ``start + i * period + phi`` with ``phi``
+    uniform in ``[-jitter/2, +jitter/2]``, then pushed right as needed to
+    respect the minimum inter-event distance.  The resulting trace
+    satisfies the model's arrival-curve pair (verified by property tests).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    times: List[float] = []
+    previous = -math.inf
+    half_jitter = model.jitter / 2.0
+    for i in range(count):
+        nominal = start + i * model.period
+        if half_jitter > 0:
+            nominal += rng.uniform(-half_jitter, half_jitter)
+        instant = max(nominal, previous + model.min_distance, 0.0)
+        times.append(instant)
+        previous = instant
+    return times
+
+
+class Process:
+    """Base class for all processes.
+
+    Subclasses implement :meth:`behavior` as a generator yielding
+    operations.  ``self.now`` is valid once the process is attached to a
+    simulator (i.e. inside the behaviour generator).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sim = None
+        self._handle = None
+        #: Service-time multiplier; the fault injector raises it above 1.0
+        #: to model rate-degradation faults.  Every process that models
+        #: computation time must multiply its delays by this.
+        self.slowdown = 1.0
+
+    def attach(self, sim, handle) -> None:
+        """Called by the simulator upon registration."""
+        self._sim = sim
+        self._handle = handle
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (only valid while attached)."""
+        if self._sim is None:
+            raise ProtocolError(f"{self.name} is not attached to a simulator")
+        return self._sim.now
+
+    def behavior(self):
+        """The process body (a generator).  Must be overridden."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class PeriodicSource(Process):
+    """A producer releasing ``count`` tokens on a PJD schedule.
+
+    Parameters
+    ----------
+    name, timing, count:
+        Identity, PJD release model, number of tokens to produce.
+    payload:
+        ``payload(i) -> (value, size_bytes)`` for token ``i`` (0-based).
+        Defaults to the index itself with zero size.
+    seed:
+        Seed for the jitter RNG (determinism policy).
+    start:
+        Virtual time of the first nominal release.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        timing: PJD,
+        count: int,
+        payload: Optional[Callable[[int], Tuple[Any, int]]] = None,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        self.timing = timing
+        self.count = count
+        self.payload = payload or (lambda i: (i, 0))
+        self.seed = seed
+        self.start = start
+        self.output: Optional[WriteEndpoint] = None
+        self.release_times: List[float] = []
+        self.commit_times: List[float] = []
+        self.blocked_writes = 0
+
+    def behavior(self):
+        if self.output is None:
+            raise ProtocolError(f"{self.name}: output endpoint not connected")
+        rng = np.random.default_rng(self.seed)
+        schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        for i, release in enumerate(schedule):
+            wait = release - self.now
+            if wait > 0:
+                yield Delay(wait)
+            value, size = self.payload(i)
+            token = Token(
+                value=value,
+                seqno=i + 1,
+                stamp=self.now,
+                size_bytes=size,
+                origin=self.name,
+            )
+            self.release_times.append(self.now)
+            before = self.now
+            yield Write(self.output, token)
+            self.commit_times.append(self.now)
+            if self.now > before + 1e-12:
+                self.blocked_writes += 1
+
+
+class PeriodicConsumer(Process):
+    """A consumer issuing destructive reads on a PJD schedule.
+
+    Records the completion time of every read (``arrival_times``), the
+    consumed tokens, and how often / how long it stalled on an empty FIFO —
+    the paper requires a correctly sized network to never stall the
+    consumer (Section 3.3).
+
+    Every demand instant is offset by :data:`TIE_EPSILON` so that a demand
+    coinciding exactly with a producer-side write (possible with zero
+    jitter) resolves in the physically meaningful order — data ready
+    before it is consumed.  Continuous-time analyses treat such
+    simultaneous events as ordered; the discrete event queue needs the
+    nudge to agree.
+    """
+
+    #: Deterministic offset applied to every demand instant (ms).
+    TIE_EPSILON = 1e-6
+
+    def __init__(
+        self,
+        name: str,
+        timing: PJD,
+        count: int,
+        seed: int = 0,
+        start: float = 0.0,
+        keep_values: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.timing = timing
+        self.count = count
+        self.seed = seed
+        self.start = start
+        self.keep_values = keep_values
+        self.input: Optional[ReadEndpoint] = None
+        self.arrival_times: List[float] = []
+        self.tokens: List[Token] = []
+        self.stalls = 0
+        self.total_stall_time = 0.0
+
+    def behavior(self):
+        if self.input is None:
+            raise ProtocolError(f"{self.name}: input endpoint not connected")
+        rng = np.random.default_rng(self.seed)
+        schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        for demand in schedule:
+            wait = demand + self.TIE_EPSILON - self.now
+            if wait > 0:
+                yield Delay(wait)
+            attempt = self.now
+            token = yield Read(self.input)
+            if self.now > attempt + 1e-12:
+                self.stalls += 1
+                self.total_stall_time += self.now - attempt
+            self.arrival_times.append(self.now)
+            if self.keep_values:
+                self.tokens.append(token)
+
+    def inter_arrival_times(self) -> List[float]:
+        """Gaps between consecutive read completions (Table 2's decoded
+        inter-frame timing statistics)."""
+        times = self.arrival_times
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+class FunctionProcess(Process):
+    """Read one token, compute, write one transformed token, repeat.
+
+    ``transform(value) -> value`` maps payloads (or ``transform(value,
+    seqno)`` with ``takes_seqno=True``, which lets applications memoise
+    deterministic per-token computations); ``service`` is either a constant
+    service time in ms or a callable ``service(token, rng) -> ms``
+    (jittered computation).  ``out_size`` optionally overrides the output
+    token size (e.g. a decoder inflating 10 KB frames to 76.8 KB).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transform: Callable[..., Any],
+        service: Any = 0.0,
+        seed: int = 0,
+        out_size: Optional[Callable[[Any], int]] = None,
+        takes_seqno: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.transform = transform
+        self.service = service
+        self.seed = seed
+        self.out_size = out_size
+        self.takes_seqno = takes_seqno
+        self.input: Optional[ReadEndpoint] = None
+        self.output: Optional[WriteEndpoint] = None
+        self.processed = 0
+
+    def _service_time(self, token: Token, rng: np.random.Generator) -> float:
+        if callable(self.service):
+            base = float(self.service(token, rng))
+        else:
+            base = float(self.service)
+        return base * self.slowdown
+
+    def behavior(self):
+        if self.input is None or self.output is None:
+            raise ProtocolError(f"{self.name}: endpoints not connected")
+        rng = np.random.default_rng(self.seed)
+        while True:
+            token = yield Read(self.input)
+            duration = self._service_time(token, rng)
+            if duration > 0:
+                yield Delay(duration)
+            if self.takes_seqno:
+                value = self.transform(token.value, token.seqno)
+            else:
+                value = self.transform(token.value)
+            size = (
+                self.out_size(value)
+                if self.out_size is not None
+                else token.size_bytes
+            )
+            out = Token(
+                value=value,
+                seqno=token.seqno,
+                stamp=self.now,
+                size_bytes=size,
+                origin=self.name,
+            )
+            yield Write(self.output, out)
+            self.processed += 1
+
+
+class PacedRelay(Process):
+    """Relay tokens while shaping the output to a PJD model.
+
+    Reads a token, optionally transforms it, and releases it no earlier
+    than its PJD target instant: token ``j`` is released at
+    ``max(nominal_j + phi_j, previous + d, ready)`` where ``nominal_j``
+    advances by one period per token and ``phi_j`` is uniform jitter.
+    This is how a replica's exit stage (e.g. the MJPEG ``mergeframe``
+    process) enforces the interface timing of Table 1, and how design
+    diversity between replicas is expressed (different jitter seeds and
+    magnitudes).
+
+    Rate-degradation faults stretch the pacing: the nominal increment and
+    the minimum distance are multiplied by ``self.slowdown``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        timing: PJD,
+        transform: Optional[Callable[[Any], Any]] = None,
+        seed: int = 0,
+        start: float = 0.0,
+        out_size: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.timing = timing
+        self.transform = transform
+        self.seed = seed
+        self.start = start
+        self.out_size = out_size
+        self.input: Optional[ReadEndpoint] = None
+        self.output: Optional[WriteEndpoint] = None
+        self.release_times: List[float] = []
+
+    def behavior(self):
+        if self.input is None or self.output is None:
+            raise ProtocolError(f"{self.name}: endpoints not connected")
+        rng = np.random.default_rng(self.seed)
+        half_jitter = self.timing.jitter / 2.0
+        nominal = self.start
+        previous = -math.inf
+        while True:
+            token = yield Read(self.input)
+            nominal += self.timing.period * self.slowdown
+            target = nominal
+            if half_jitter > 0:
+                target += rng.uniform(-half_jitter, half_jitter)
+            target = max(
+                target,
+                previous + self.timing.min_distance * self.slowdown,
+                self.now,
+            )
+            wait = target - self.now
+            if wait > 0:
+                yield Delay(wait)
+            previous = self.now
+            value = (
+                self.transform(token.value)
+                if self.transform is not None
+                else token.value
+            )
+            size = (
+                self.out_size(value)
+                if self.out_size is not None
+                else token.size_bytes
+            )
+            out = Token(
+                value=value,
+                seqno=token.seqno,
+                stamp=self.now,
+                size_bytes=size,
+                origin=self.name,
+            )
+            self.release_times.append(self.now)
+            yield Write(self.output, out)
+
+
+class RecordingSink(Process):
+    """Greedily read everything from a channel, recording (time, token).
+
+    Used by the equivalence checker to capture a network's raw output
+    sequence ``Q_C`` with its timestamps ``t(Q_C)``.
+    """
+
+    def __init__(self, name: str, limit: Optional[int] = None) -> None:
+        super().__init__(name)
+        self.limit = limit
+        self.input: Optional[ReadEndpoint] = None
+        self.records: List[Tuple[float, Token]] = []
+
+    def behavior(self):
+        if self.input is None:
+            raise ProtocolError(f"{self.name}: input endpoint not connected")
+        while self.limit is None or len(self.records) < self.limit:
+            token = yield Read(self.input)
+            self.records.append((self.now, token))
+
+    def values(self) -> List[Any]:
+        """The received payload sequence."""
+        return [token.value for _, token in self.records]
+
+    def times(self) -> List[float]:
+        """The receive timestamps."""
+        return [time for time, _ in self.records]

@@ -1,0 +1,305 @@
+"""The discrete-event engine.
+
+Virtual time is a float (milliseconds by convention throughout the
+library).  Events are totally ordered by ``(time, sequence_number)`` so two
+runs of the same seeded network produce byte-identical traces — the
+determinism policy of DESIGN.md Section 6.
+
+Processes are generators driven by the engine: each yielded
+:class:`~repro.kpn.operations.Operation` either completes immediately, is
+scheduled for a later virtual instant (``Delay``, transfer latency), or
+parks the process on a channel until a counterparty unblocks it.  This
+reproduces the blocking FIFO semantics of Section 2 of the paper without
+any OS threads, making fault injection (killing a replica at an exact
+virtual instant) trivial and exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.kpn.errors import ProtocolError, SimulationError
+from repro.kpn.operations import Delay, Halt, Operation, Read, Write
+
+
+class ProcessState(Enum):
+    """Lifecycle states of a process inside the engine."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED_READ = "blocked_read"
+    BLOCKED_WRITE = "blocked_write"
+    DELAYED = "delayed"
+    DONE = "done"
+    KILLED = "killed"
+
+
+class ProcessHandle:
+    """Engine-side wrapper around one process generator."""
+
+    def __init__(self, name: str, generator, owner: Any = None) -> None:
+        self.name = name
+        self.generator = generator
+        self.owner = owner
+        self.state = ProcessState.READY
+        self.pending_op: Optional[Operation] = None
+        self.wake_scheduled = False
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.DONE, ProcessState.KILLED)
+
+    @property
+    def blocked(self) -> bool:
+        return self.state in (
+            ProcessState.BLOCKED_READ,
+            ProcessState.BLOCKED_WRITE,
+        )
+
+    def __repr__(self) -> str:
+        return f"ProcessHandle({self.name}, {self.state.value})"
+
+
+@dataclass
+class RunStats:
+    """Summary of one :meth:`Simulator.run` call."""
+
+    events: int = 0
+    end_time: float = 0.0
+    halted_on_limit: bool = False
+    blocked_processes: List[str] = field(default_factory=list)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.register(process)           # a repro.kpn.process.Process
+        channel.bind(sim)               # channels learn how to wake parties
+        stats = sim.run(until=10_000.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._handles: Dict[str, ProcessHandle] = {}
+        self._started = False
+        self._event_count = 0
+
+    # -- time and scheduling ----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (ms)."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far."""
+        return self._event_count
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at an absolute virtual instant."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (max(time, self._now), self._sequence, action))
+
+    # -- process management -------------------------------------------------
+
+    def register(self, process: Any) -> ProcessHandle:
+        """Register a process (anything with ``name`` and ``behavior()``).
+
+        The process starts at time 0 (or at registration time if the run
+        has already started).
+        """
+        name = process.name
+        if name in self._handles:
+            raise ProtocolError(f"duplicate process name: {name}")
+        handle = ProcessHandle(name, process.behavior(), owner=process)
+        self._handles[name] = handle
+        if hasattr(process, "attach"):
+            process.attach(self, handle)
+        self.schedule(0.0, lambda: self._start(handle))
+        return handle
+
+    def register_all(self, processes: Iterable[Any]) -> List[ProcessHandle]:
+        """Register a collection of processes."""
+        return [self.register(p) for p in processes]
+
+    def handle(self, name: str) -> ProcessHandle:
+        """Look up a process handle by name."""
+        return self._handles[name]
+
+    def kill(self, name: str) -> None:
+        """Mark a process killed (fault injection).
+
+        A killed process never runs again: pending events targeting it are
+        dropped at fire time, and parked channel entries ignore it.
+        """
+        handle = self._handles[name]
+        if handle.state is ProcessState.DONE:
+            return
+        handle.state = ProcessState.KILLED
+        handle.generator.close()
+
+    def blocked_processes(self) -> List[str]:
+        """Names of live processes currently parked on a channel."""
+        return [h.name for h in self._handles.values() if h.blocked]
+
+    def live_processes(self) -> List[str]:
+        """Names of processes that are not done/killed."""
+        return [h.name for h in self._handles.values() if h.alive]
+
+    # -- engine loop ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> RunStats:
+        """Process events until the heap drains, ``until`` is passed, or
+        ``max_events`` fire.  Returns a :class:`RunStats` summary.
+
+        Running out of events with parked processes is *quiescence* (the
+        normal end of a finite streaming run), not an error; callers that
+        consider it a deadlock can inspect ``stats.blocked_processes``.
+        """
+        stats = RunStats()
+        while self._heap:
+            time, _seq, action = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            self._event_count += 1
+            stats.events += 1
+            action()
+            if max_events is not None and stats.events >= max_events:
+                stats.halted_on_limit = True
+                break
+        stats.end_time = self._now
+        stats.blocked_processes = self.blocked_processes()
+        return stats
+
+    def step(self) -> bool:
+        """Process a single event; returns False when none are pending."""
+        if not self._heap:
+            return False
+        time, _seq, action = heapq.heappop(self._heap)
+        self._now = time
+        self._event_count += 1
+        action()
+        return True
+
+    # -- process driving ------------------------------------------------------
+
+    def _start(self, handle: ProcessHandle) -> None:
+        if handle.state is ProcessState.KILLED:
+            return
+        self._advance(handle, None)
+
+    def _advance(self, handle: ProcessHandle, value: Any) -> None:
+        """Resume the generator with ``value`` and dispatch its next op."""
+        if not handle.alive:
+            return
+        handle.state = ProcessState.RUNNING
+        try:
+            operation = handle.generator.send(value)
+        except StopIteration:
+            handle.state = ProcessState.DONE
+            return
+        self._dispatch(handle, operation)
+
+    def _dispatch(self, handle: ProcessHandle, operation: Operation) -> None:
+        if isinstance(operation, Delay):
+            handle.state = ProcessState.DELAYED
+            handle.pending_op = operation
+            self.schedule(operation.duration,
+                          lambda: self._advance(handle, None))
+        elif isinstance(operation, Read):
+            self._attempt_read(handle, operation)
+        elif isinstance(operation, Write):
+            self._attempt_write(handle, operation)
+        elif isinstance(operation, Halt):
+            handle.state = ProcessState.DONE
+            handle.generator.close()
+        else:
+            raise ProtocolError(
+                f"process {handle.name} yielded unknown operation "
+                f"{operation!r}"
+            )
+
+    def _attempt_read(self, handle: ProcessHandle, operation: Read) -> None:
+        if not handle.alive:
+            return
+        endpoint = operation.endpoint
+        status, payload = endpoint.channel.poll_read(endpoint.index, self._now)
+        if status == "ok":
+            self._advance(handle, payload)
+        elif status == "wait":
+            handle.state = ProcessState.BLOCKED_READ
+            handle.pending_op = operation
+            self.schedule_at(payload,
+                             lambda: self._attempt_read(handle, operation))
+        elif status == "empty":
+            handle.state = ProcessState.BLOCKED_READ
+            handle.pending_op = operation
+            endpoint.channel.park_reader(endpoint.index, handle)
+        else:  # pragma: no cover - channel contract violation
+            raise ProtocolError(f"bad poll_read status {status!r}")
+
+    def _attempt_write(self, handle: ProcessHandle, operation: Write) -> None:
+        if not handle.alive:
+            return
+        endpoint = operation.endpoint
+        status, _ = endpoint.channel.poll_write(
+            endpoint.index, operation.token, self._now
+        )
+        if status == "ok":
+            self._advance(handle, None)
+        elif status == "full":
+            handle.state = ProcessState.BLOCKED_WRITE
+            handle.pending_op = operation
+            endpoint.channel.park_writer(endpoint.index, handle)
+        else:  # pragma: no cover - channel contract violation
+            raise ProtocolError(f"bad poll_write status {status!r}")
+
+    def retry(self, handle: ProcessHandle) -> None:
+        """Re-attempt a parked process's pending operation *now*.
+
+        Channels call this when their state changes (a read freed space, a
+        write added a token).  The retry is scheduled as a fresh event so
+        the waker finishes its own event first.
+        """
+        if not handle.alive or handle.pending_op is None:
+            return
+        if handle.wake_scheduled:
+            return
+        handle.wake_scheduled = True
+        operation = handle.pending_op
+
+        def fire() -> None:
+            handle.wake_scheduled = False
+            if not handle.alive:
+                return
+            if isinstance(operation, Read):
+                self._attempt_read(handle, operation)
+            elif isinstance(operation, Write):
+                self._attempt_write(handle, operation)
+
+        self.schedule(0.0, fire)

@@ -1,0 +1,60 @@
+"""Data tokens flowing through FIFO channels.
+
+A token ``T_k[j]`` (Section 2) carries a payload value, a monotonically
+increasing per-stream sequence number ``j``, and the timestamp ``t(k, j)``
+of the instant it was produced.  The size in bytes drives the SCC
+communication-latency model (the paper's tokens are 10 KB encoded frames,
+76.8 KB decoded frames and 3 KB ADPCM samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Token:
+    """One data token.
+
+    Attributes
+    ----------
+    value:
+        The payload.  Determinacy (Section 2) means this depends only on
+        the input token sequence, never on timing — the equivalence checks
+        compare these values between reference and duplicated networks.
+    seqno:
+        Per-stream sequence number ``j`` (1-based, as in the paper).
+    stamp:
+        Production timestamp ``t(k, j)`` in simulated milliseconds;
+        ``None`` until first produced.
+    size_bytes:
+        Payload size used by communication-latency models.
+    origin:
+        Name of the producing process (diagnostic only).
+    """
+
+    value: Any
+    seqno: int = 0
+    stamp: Optional[float] = None
+    size_bytes: int = 0
+    origin: str = ""
+
+    def stamped(self, time: float, seqno: Optional[int] = None,
+                origin: Optional[str] = None) -> "Token":
+        """A copy of this token stamped with a production time (and
+        optionally renumbered / re-attributed)."""
+        return replace(
+            self,
+            stamp=time,
+            seqno=self.seqno if seqno is None else seqno,
+            origin=self.origin if origin is None else origin,
+        )
+
+    def with_value(self, value: Any, size_bytes: Optional[int] = None) -> "Token":
+        """A copy carrying a transformed payload (same identity fields)."""
+        return replace(
+            self,
+            value=value,
+            size_bytes=self.size_bytes if size_bytes is None else size_bytes,
+        )

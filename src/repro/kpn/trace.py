@@ -1,0 +1,121 @@
+"""Instrumentation: token event traces and fill statistics.
+
+Two consumers of this data exist in the library:
+
+* calibration (Eq. 2) needs the raw timestamps at which tokens crossed an
+  interface (:func:`repro.rtc.calibration.empirical_curves` /
+  :func:`~repro.rtc.calibration.fit_pjd`);
+* the Table 2 rows "Max. Observed Fill" need the running maximum occupancy
+  of every FIFO.
+
+Recording full timestamp lists is optional (``record_events=False`` keeps
+only counters and the fill maximum) so paper-scale runs stay light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EventRecord:
+    """One channel event: a write (production) or read (consumption)."""
+
+    time: float
+    kind: str  # "write" | "read" | "drop"
+    seqno: int
+    interface: int = 0
+
+
+class ChannelTrace:
+    """Per-channel occupancy and event bookkeeping.
+
+    ``fill`` tracks the number of queued tokens; ``max_fill`` its running
+    maximum — the quantity Table 2 compares against the theoretical
+    capacity.  When ``record_events`` is set, full event lists are kept for
+    curve calibration.
+    """
+
+    def __init__(self, name: str, record_events: bool = False) -> None:
+        self.name = name
+        self.record_events = record_events
+        self.fill = 0
+        self.max_fill = 0
+        self.writes = 0
+        self.reads = 0
+        self.drops = 0
+        self.events: List[EventRecord] = []
+
+    def on_write(self, time: float, seqno: int, interface: int = 0) -> None:
+        """Record a token entering the queue."""
+        self.fill += 1
+        self.writes += 1
+        if self.fill > self.max_fill:
+            self.max_fill = self.fill
+        if self.record_events:
+            self.events.append(EventRecord(time, "write", seqno, interface))
+
+    def on_read(self, time: float, seqno: int, interface: int = 0) -> None:
+        """Record a token leaving the queue."""
+        self.fill -= 1
+        self.reads += 1
+        if self.record_events:
+            self.events.append(EventRecord(time, "read", seqno, interface))
+
+    def on_drop(self, time: float, seqno: int, interface: int = 0) -> None:
+        """Record a token discarded without being queued (selector rule 3)."""
+        self.drops += 1
+        if self.record_events:
+            self.events.append(EventRecord(time, "drop", seqno, interface))
+
+    def preset_fill(self, amount: int) -> None:
+        """Account for initial (priming) tokens placed before time zero."""
+        self.fill += amount
+        if self.fill > self.max_fill:
+            self.max_fill = self.fill
+
+    def write_times(self, interface: Optional[int] = None) -> List[float]:
+        """Timestamps of write events (optionally for one interface)."""
+        return [
+            e.time
+            for e in self.events
+            if e.kind == "write"
+            and (interface is None or e.interface == interface)
+        ]
+
+    def read_times(self, interface: Optional[int] = None) -> List[float]:
+        """Timestamps of read events (optionally for one interface)."""
+        return [
+            e.time
+            for e in self.events
+            if e.kind == "read"
+            and (interface is None or e.interface == interface)
+        ]
+
+
+class TraceRecorder:
+    """Registry of all channel traces in one simulation run."""
+
+    def __init__(self, record_events: bool = False) -> None:
+        self.record_events = record_events
+        self._traces: Dict[str, ChannelTrace] = {}
+
+    def channel(self, name: str) -> ChannelTrace:
+        """Get (or create) the trace for a channel name."""
+        if name not in self._traces:
+            self._traces[name] = ChannelTrace(name, self.record_events)
+        return self._traces[name]
+
+    def max_fills(self) -> Dict[str, int]:
+        """Mapping channel name -> max observed fill."""
+        return {name: t.max_fill for name, t in self._traces.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __getitem__(self, name: str) -> ChannelTrace:
+        return self._traces[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._traces)

@@ -1,0 +1,148 @@
+"""Calibration of arrival curves and PJD models from observed event traces.
+
+The paper notes that the timing models Eq. 2 builds on are "either provided
+as a part of the timing model, or derived from calibration experiments".
+This module implements that calibration path: given the timestamps at which
+tokens crossed an interface, compute
+
+* the tightest empirical arrival-curve pair over a window grid
+  (:func:`empirical_curves`), and
+* a fitted :class:`~repro.rtc.pjd.PJD` model enclosing the trace
+  (:func:`fit_pjd`),
+
+so that a black-box application can be characterised at its interfaces
+without access to its internals — the property that makes the framework
+"applicable to large and complex applications" (Section 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from repro.rtc.curves import EPS, PiecewiseConstantCurve
+from repro.rtc.pjd import PJD
+
+
+def sliding_window_counts(
+    timestamps: Sequence[float], window: float
+) -> Tuple[int, int]:
+    """Return ``(max_count, min_count)`` of events in any window of length
+    ``window`` sliding over the trace.
+
+    The maximum is taken over windows ``[t_i, t_i + window)`` anchored at
+    events (which is where the max is attained for left-closed windows);
+    the minimum over the windows strictly between consecutive events and
+    over the trace interior, matching the open-interval convention of
+    Eq. 2.  An empty or single-event trace yields ``(len, len)`` for any
+    positive window.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    times = sorted(timestamps)
+    n = len(times)
+    if n == 0:
+        return (0, 0)
+    if n == 1:
+        return (1, 0)
+    max_count = 1
+    # Maximum: anchor the window start at each event.
+    for i, start in enumerate(times):
+        # Events in [start, start + window): bisect for the right edge.
+        j = bisect.bisect_left(times, start + window - EPS, lo=i)
+        count = j - i
+        if count > max_count:
+            max_count = count
+    # Minimum: anchor the window end just before each event (the emptiest
+    # placement starts right after some event).
+    span = times[-1] - times[0]
+    if window >= span + EPS:
+        min_count = n  # window covers the observed trace; no evidence of less
+    else:
+        min_count = n
+        for i, start_event in enumerate(times):
+            start = start_event + EPS
+            if start + window > times[-1] + EPS:
+                break
+            # Events strictly inside [start, start + window): the start
+            # offset already excludes the anchor event, and an event at
+            # exactly start + window - EPS (i.e. anchor + window) is the
+            # half-open boundary and belongs to the window.
+            j = bisect.bisect_left(times, start + window)
+            count = j - (i + 1)
+            if count < min_count:
+                min_count = count
+    return (max_count, min_count)
+
+
+def empirical_curves(
+    timestamps: Sequence[float],
+    max_window: float = None,
+    resolution: int = 128,
+) -> Tuple[PiecewiseConstantCurve, PiecewiseConstantCurve]:
+    """Compute empirical ``(alpha_u, alpha_l)`` staircases from a trace.
+
+    The curves are evaluated over ``resolution`` window lengths spanning
+    ``(0, max_window]`` (default: the full trace span) and extended with a
+    linear tail at the observed long-run rate.  The empirical upper curve
+    is a valid upper bound only for behaviours exhibited in the trace; real
+    designs pad it (e.g. by fitting a :class:`PJD` with :func:`fit_pjd`).
+    """
+    times = sorted(timestamps)
+    if len(times) < 2:
+        raise ValueError("need at least two events to calibrate curves")
+    span = times[-1] - times[0]
+    if max_window is None:
+        max_window = span
+    if max_window <= 0:
+        raise ValueError("max_window must be positive")
+    rate = (len(times) - 1) / span if span > 0 else math.inf
+    upper_steps: List[Tuple[float, float]] = [(0.0, 0.0)]
+    lower_steps: List[Tuple[float, float]] = [(0.0, 0.0)]
+    previous_upper = 0.0
+    previous_lower = 0.0
+    for i in range(1, resolution + 1):
+        window = max_window * i / resolution
+        max_count, min_count = sliding_window_counts(times, window)
+        if max_count > previous_upper:
+            upper_steps.append((window, float(max_count)))
+            previous_upper = max_count
+        if min_count > previous_lower:
+            lower_steps.append((window, float(min_count)))
+            previous_lower = min_count
+    upper = PiecewiseConstantCurve(
+        upper_steps, tail_rate=rate, tail_round="ceil"
+    )
+    lower = PiecewiseConstantCurve(
+        lower_steps, tail_rate=rate, tail_round="floor"
+    )
+    return upper, lower
+
+
+def fit_pjd(timestamps: Sequence[float]) -> PJD:
+    """Fit the tightest :class:`PJD` model enclosing an observed trace.
+
+    * ``period`` is the mean inter-event time;
+    * ``jitter`` is twice the maximum deviation of any event from the best
+      periodic grid through the trace (so the grid sits mid-window);
+    * ``min_distance`` is the smallest observed inter-event gap, clamped to
+      the period.
+
+    The returned model's curves enclose the empirical curves of the trace.
+    """
+    times = sorted(timestamps)
+    if len(times) < 2:
+        raise ValueError("need at least two events to fit a PJD model")
+    n = len(times)
+    period = (times[-1] - times[0]) / (n - 1)
+    if period <= 0:
+        raise ValueError("events must not be simultaneous")
+    # Best periodic grid: choose the offset minimising max deviation.
+    deviations = [times[i] - times[0] - i * period for i in range(n)]
+    centre = (max(deviations) + min(deviations)) / 2.0
+    half_width = max(abs(d - centre) for d in deviations)
+    jitter = 2.0 * half_width
+    min_gap = min(times[i + 1] - times[i] for i in range(n - 1))
+    min_distance = min(max(min_gap, 0.0), period)
+    return PJD(period=period, jitter=jitter, min_distance=min_distance)

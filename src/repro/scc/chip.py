@@ -1,0 +1,115 @@
+"""The assembled SCC chip model.
+
+Bundles geometry, clock domains, mesh and MPB into one object booted with
+the paper's parameters (Section 4.1): tile clock 533 MHz, router clock
+800 MHz, DDR3 memory clock 800 MHz, L2 caches off, interrupts disabled
+(the last two matter on silicon for determinism; in the simulation they
+are inherent).  Per-core TSCs are synchronised at boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.scc.clock import ClockDomain, TscClock, synchronize
+from repro.scc.geometry import TOPOLOGY, Core, Tile, Topology
+from repro.scc.mesh import Mesh
+from repro.scc.mpb import MpbModel
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SccConfig:
+    """Boot parameters (defaults are the paper's)."""
+
+    tile_frequency_hz: float = 533e6
+    router_frequency_hz: float = 800e6
+    memory_frequency_hz: float = 800e6
+    chunk_bytes: int = 3 * 1024
+    l2_enabled: bool = False
+    interrupts_enabled: bool = False
+    #: Spread of per-core boot offsets before synchronisation (ms).
+    boot_offset_spread_ms: float = 5.0
+    #: Per-core TSC drift magnitude (parts per million).
+    drift_ppm: float = 2.0
+
+
+class SccChip:
+    """A booted SCC: clocks, mesh, MPB transfer model.
+
+    ``boot(seed)`` assigns randomised (seeded) per-core boot offsets and
+    drifts, then performs the boot-time TSC synchronisation.  The chip is
+    usable without booting when only the communication model is needed.
+    """
+
+    def __init__(self, config: SccConfig = SccConfig(),
+                 topology: Topology = TOPOLOGY) -> None:
+        self.config = config
+        self.topology = topology
+        self.tile_clock = ClockDomain("tile", config.tile_frequency_hz)
+        self.router_clock = ClockDomain("router", config.router_frequency_hz)
+        self.memory_clock = ClockDomain("memory", config.memory_frequency_hz)
+        self.mesh = Mesh(topology, self.router_clock)
+        self.mpb = MpbModel(
+            mesh=self.mesh,
+            core_clock=self.tile_clock,
+            chunk_bytes=config.chunk_bytes,
+        )
+        self.clocks: Dict[int, TscClock] = {}
+        self._booted = False
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    def tiles(self) -> List[Tile]:
+        """All tiles of the die."""
+        return [Tile(t, self.topology) for t in range(self.topology.tile_count)]
+
+    def cores(self) -> List[Core]:
+        """All cores of the die."""
+        return [Core(c, self.topology) for c in range(self.topology.core_count)]
+
+    def boot(self, seed: int = 0) -> Dict[int, float]:
+        """Power on: create per-core TSCs and synchronise them.
+
+        Returns the per-core offsets estimated by the synchronisation.
+        """
+        rng = np.random.default_rng(seed)
+        self.clocks = {}
+        for core in self.cores():
+            offset = float(
+                rng.uniform(0.0, self.config.boot_offset_spread_ms)
+            )
+            drift = float(
+                rng.uniform(-self.config.drift_ppm, self.config.drift_ppm)
+            )
+            self.clocks[core.core_id] = TscClock(
+                core.core_id,
+                self.config.tile_frequency_hz,
+                boot_offset_ms=offset,
+                drift_ppm=drift,
+            )
+        # Synchronise only after every core has come out of reset —
+        # a TSC read before a core's boot instant would return zero and
+        # corrupt its calibration.
+        sync_instant = self.config.boot_offset_spread_ms
+        offsets = synchronize(self.clocks.values(), sync_time_ms=sync_instant)
+        self._booted = True
+        return offsets
+
+    def transfer_time_ms(self, size_bytes: int, src_core: int,
+                         dst_core: int) -> float:
+        """Token transfer latency between two cores via the MPB path."""
+        src_tile = src_core // self.topology.cores_per_tile
+        dst_tile = dst_core // self.topology.cores_per_tile
+        return self.mpb.transfer_time_ms(size_bytes, src_tile, dst_tile)
+
+    def __repr__(self) -> str:
+        state = "booted" if self._booted else "cold"
+        return (
+            f"SccChip({self.topology.core_count} cores @ "
+            f"{self.config.tile_frequency_hz / 1e6:.0f}MHz, {state})"
+        )

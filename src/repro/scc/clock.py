@@ -1,0 +1,117 @@
+"""Per-core timestamp counters and boot-time synchronisation.
+
+The paper derives all timing measurements from each core's local TSC and
+notes that "all clocks are synchronized at application boot time in order
+to get valid timing results" (Section 4.1).  This module models exactly
+that: every core's TSC runs at the tile frequency with a per-core boot
+offset (cores come out of reset at slightly different instants) and an
+optional parts-per-million drift; :func:`synchronize` performs the boot
+handshake, estimating each offset so that subsequently converted
+timestamps agree across cores up to the drift error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A clock domain of the chip (tile / router / memory)."""
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    def cycles(self, milliseconds: float) -> int:
+        """Whole cycles elapsed in ``milliseconds``."""
+        return int(self.frequency_hz * milliseconds / 1e3)
+
+    def milliseconds(self, cycles: float) -> float:
+        """Duration of ``cycles`` cycles in ms."""
+        return cycles / self.frequency_hz * 1e3
+
+
+class TscClock:
+    """One core's timestamp counter.
+
+    ``read(global_ms)`` returns the raw tick count the core would observe
+    at the given global (simulation) instant; ``to_global_ms(ticks)``
+    converts raw ticks back to global time using the calibration installed
+    by :func:`synchronize`.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        frequency_hz: float,
+        boot_offset_ms: float = 0.0,
+        drift_ppm: float = 0.0,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.core_id = core_id
+        self.frequency_hz = frequency_hz
+        self.boot_offset_ms = boot_offset_ms
+        self.drift_ppm = drift_ppm
+        self._calibrated_offset_ms = 0.0
+        self._calibrated = False
+
+    @property
+    def effective_frequency_hz(self) -> float:
+        """Frequency including drift."""
+        return self.frequency_hz * (1.0 + self.drift_ppm * 1e-6)
+
+    def read(self, global_ms: float) -> int:
+        """Raw TSC value at a global instant (ticks since core boot)."""
+        local_ms = global_ms - self.boot_offset_ms
+        if local_ms < 0:
+            return 0
+        return int(local_ms * self.effective_frequency_hz / 1e3)
+
+    def install_calibration(self, offset_ms: float) -> None:
+        """Record the boot-sync estimate of this core's offset."""
+        self._calibrated_offset_ms = offset_ms
+        self._calibrated = True
+
+    @property
+    def calibrated(self) -> bool:
+        return self._calibrated
+
+    def to_global_ms(self, ticks: int) -> float:
+        """Convert raw ticks to estimated global time (requires sync)."""
+        if not self._calibrated:
+            raise RuntimeError(
+                f"core {self.core_id}: TSC not synchronized; run "
+                "synchronize() at boot first"
+            )
+        return ticks / self.frequency_hz * 1e3 + self._calibrated_offset_ms
+
+
+def synchronize(clocks: Iterable[TscClock], sync_time_ms: float = 0.0) -> Dict[int, float]:
+    """Boot-time clock synchronisation.
+
+    At the synchronisation instant every core samples its TSC; the master
+    (lowest core id) broadcasts the instant, and each core derives its
+    offset.  The model is exact up to drift: after synchronisation,
+    ``to_global_ms(read(t))`` equals ``t`` up to the drift accumulated
+    since ``sync_time_ms``.
+
+    Returns the per-core estimated offsets (ms).
+    """
+    clock_list: List[TscClock] = sorted(clocks, key=lambda c: c.core_id)
+    if not clock_list:
+        raise ValueError("need at least one clock to synchronize")
+    offsets: Dict[int, float] = {}
+    for clock in clock_list:
+        ticks_at_sync = clock.read(sync_time_ms)
+        # Offset such that ticks_at_sync maps back to sync_time_ms using
+        # the *nominal* frequency (cores do not know their own drift).
+        offset = sync_time_ms - ticks_at_sync / clock.frequency_hz * 1e3
+        clock.install_calibration(offset)
+        offsets[clock.core_id] = offset
+    return offsets

@@ -1,0 +1,115 @@
+"""Dynamic router-contention model for the SCC mesh.
+
+The static :func:`~repro.scc.mapping.route_overlap` metric counts how
+many channel pairs *could* contend; this module models what contention
+*costs* at runtime: every transfer reserves its route's links for the
+duration of its chunks, and a transfer arriving while a link is busy
+waits for the residual occupancy.  The model is deliberately simple
+(per-link busy-until timestamps, no flit-level wormhole detail) — enough
+to make the paper's low-contention mapping strategy (Section 4.1,
+reference [13]) quantitatively visible: overlapping routes serialise,
+disjoint routes don't.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.kpn.tokens import Token
+from repro.scc.chip import SccChip
+from repro.scc.mapping import Mapping
+from repro.scc.mesh import Mesh
+
+
+@dataclass
+class LinkState:
+    """Occupancy bookkeeping for one directed mesh link."""
+
+    busy_until: float = 0.0
+    transfers: int = 0
+    waited_ms: float = 0.0
+
+
+class ContentionModel:
+    """Tracks link occupancy and computes contended transfer latencies.
+
+    One instance is shared by all channels of a simulation run; it is
+    consulted at write time (simulation time flows in as ``now`` via the
+    latency callable's closure over the channel, so the model receives
+    monotone timestamps per link).
+    """
+
+    def __init__(self, chip: SccChip, mapping: Mapping) -> None:
+        self.chip = chip
+        self.mapping = mapping
+        self.mesh: Mesh = chip.mesh
+        self._links: Dict[Tuple[int, int], LinkState] = {}
+        self.total_transfers = 0
+        self.total_wait_ms = 0.0
+
+    def link(self, link_id: Tuple[int, int]) -> LinkState:
+        if link_id not in self._links:
+            self._links[link_id] = LinkState()
+        return self._links[link_id]
+
+    def transfer(self, size_bytes: int, src_process: str,
+                 dst_process: str, now: float) -> float:
+        """Latency of one transfer issued at ``now`` (ms).
+
+        The transfer occupies every link of its XY route for the base
+        (uncontended) duration, *after* waiting for the route's most
+        congested link to free up.
+        """
+        src_tile = self.mapping.tile_of(src_process)
+        dst_tile = self.mapping.tile_of(dst_process)
+        base = self.chip.mpb.transfer_time_ms(size_bytes, src_tile,
+                                              dst_tile)
+        links = self.mesh.link_segments(src_tile, dst_tile)
+        if not links:
+            return base
+        start = now
+        for link_id in links:
+            start = max(start, self.link(link_id).busy_until)
+        wait = start - now
+        finish = start + base
+        for link_id in links:
+            state = self.link(link_id)
+            state.busy_until = finish
+            state.transfers += 1
+            state.waited_ms += wait
+        self.total_transfers += 1
+        self.total_wait_ms += wait
+        return wait + base
+
+    def latency_between(self, src_process: str, dst_process: str,
+                        clock: Callable[[], float]
+                        ) -> Callable[[Token], float]:
+        """A channel ``transfer_latency`` callable under contention.
+
+        ``clock`` supplies the current virtual time (pass
+        ``lambda: sim.now`` after instantiation).
+        """
+        if (src_process not in self.mapping
+                or dst_process not in self.mapping):
+            return lambda token: 0.0
+
+        def latency(token: Token) -> float:
+            return self.transfer(token.size_bytes, src_process,
+                                 dst_process, clock())
+
+        return latency
+
+    @property
+    def mean_wait_ms(self) -> float:
+        """Average queueing delay per transfer."""
+        if self.total_transfers == 0:
+            return 0.0
+        return self.total_wait_ms / self.total_transfers
+
+    def hottest_links(self, count: int = 5) -> List[Tuple[Tuple[int, int], LinkState]]:
+        """The most-used links, by transfer count."""
+        return sorted(
+            self._links.items(),
+            key=lambda item: -item[1].transfers,
+        )[:count]

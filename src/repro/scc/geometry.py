@@ -1,0 +1,108 @@
+"""SCC die geometry: tiles, cores and their coordinates.
+
+The SCC die is a 6-column x 4-row mesh of 24 tiles; each tile hosts two
+P54C cores, a router and a 16 KB message-passing buffer (8 KB per core).
+Core numbering follows the SCC convention: cores ``2 * t`` and
+``2 * t + 1`` live on tile ``t``; tile ``t`` sits at mesh coordinates
+``(x, y) = (t % 6, t // 6)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Mesh dimensions and per-tile core count."""
+
+    columns: int = 6
+    rows: int = 4
+    cores_per_tile: int = 2
+
+    @property
+    def tile_count(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def core_count(self) -> int:
+        return self.tile_count * self.cores_per_tile
+
+    def validate_tile(self, tile_id: int) -> None:
+        if not 0 <= tile_id < self.tile_count:
+            raise ValueError(
+                f"tile id {tile_id} out of range 0..{self.tile_count - 1}"
+            )
+
+    def validate_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.core_count:
+            raise ValueError(
+                f"core id {core_id} out of range 0..{self.core_count - 1}"
+            )
+
+
+#: The physical SCC topology used throughout the experiments.
+TOPOLOGY = Topology()
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile: router coordinates and hosted cores."""
+
+    tile_id: int
+    topology: Topology = TOPOLOGY
+
+    def __post_init__(self) -> None:
+        self.topology.validate_tile(self.tile_id)
+
+    @property
+    def x(self) -> int:
+        """Mesh column."""
+        return self.tile_id % self.topology.columns
+
+    @property
+    def y(self) -> int:
+        """Mesh row."""
+        return self.tile_id // self.topology.columns
+
+    @property
+    def coordinates(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def cores(self) -> List["Core"]:
+        """The cores hosted on this tile."""
+        base = self.tile_id * self.topology.cores_per_tile
+        return [
+            Core(base + i, self.topology)
+            for i in range(self.topology.cores_per_tile)
+        ]
+
+    def manhattan_distance(self, other: "Tile") -> int:
+        """Mesh hop distance under XY routing."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Core:
+    """One core, identified by its SCC core id."""
+
+    core_id: int
+    topology: Topology = TOPOLOGY
+
+    def __post_init__(self) -> None:
+        self.topology.validate_core(self.core_id)
+
+    @property
+    def tile(self) -> Tile:
+        """The tile hosting this core."""
+        return Tile(self.core_id // self.topology.cores_per_tile,
+                    self.topology)
+
+    @property
+    def local_index(self) -> int:
+        """0 or 1: position of the core within its tile."""
+        return self.core_id % self.topology.cores_per_tile
+
+    def __int__(self) -> int:
+        return self.core_id

@@ -1,0 +1,86 @@
+"""The SCC packet mesh: XY routing and hop timing.
+
+The SCC routes packets dimension-ordered (X first, then Y) through one
+router per tile at the router clock (800 MHz in the paper's boot
+configuration).  The model exposes:
+
+* :meth:`Mesh.route` — the deterministic XY route between two tiles as the
+  sequence of traversed routers;
+* :meth:`Mesh.hop_count` — route length;
+* :meth:`Mesh.link_segments` — the directed links a route occupies, the
+  quantity the low-contention mapper minimises overlap on;
+* :meth:`Mesh.latency_ms` — per-flit wire latency of a route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.scc.clock import ClockDomain
+from repro.scc.geometry import TOPOLOGY, Tile, Topology
+
+#: Router pipeline depth in router-clock cycles per hop (SCC routers have a
+#: 4-cycle pipeline).
+CYCLES_PER_HOP = 4
+
+
+@dataclass(frozen=True)
+class Route:
+    """A deterministic XY route between two tiles."""
+
+    source: int
+    destination: int
+    tiles: Tuple[int, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of router-to-router hops."""
+        return len(self.tiles) - 1
+
+    def links(self) -> List[Tuple[int, int]]:
+        """The directed tile-to-tile links the route occupies."""
+        return list(zip(self.tiles, self.tiles[1:]))
+
+
+class Mesh:
+    """The 6x4 SCC router mesh."""
+
+    def __init__(
+        self,
+        topology: Topology = TOPOLOGY,
+        router_clock: ClockDomain = ClockDomain("router", 800e6),
+    ) -> None:
+        self.topology = topology
+        self.router_clock = router_clock
+
+    def route(self, src_tile: int, dst_tile: int) -> Route:
+        """The XY route from ``src_tile`` to ``dst_tile`` (inclusive)."""
+        self.topology.validate_tile(src_tile)
+        self.topology.validate_tile(dst_tile)
+        src = Tile(src_tile, self.topology)
+        dst = Tile(dst_tile, self.topology)
+        tiles = [src_tile]
+        x, y = src.x, src.y
+        while x != dst.x:
+            x += 1 if dst.x > x else -1
+            tiles.append(y * self.topology.columns + x)
+        while y != dst.y:
+            y += 1 if dst.y > y else -1
+            tiles.append(y * self.topology.columns + x)
+        return Route(src_tile, dst_tile, tuple(tiles))
+
+    def hop_count(self, src_tile: int, dst_tile: int) -> int:
+        """XY hop distance (equals the Manhattan distance)."""
+        src = Tile(src_tile, self.topology)
+        dst = Tile(dst_tile, self.topology)
+        return src.manhattan_distance(dst)
+
+    def link_segments(self, src_tile: int, dst_tile: int) -> List[Tuple[int, int]]:
+        """Directed links occupied by the XY route."""
+        return self.route(src_tile, dst_tile).links()
+
+    def latency_ms(self, src_tile: int, dst_tile: int) -> float:
+        """Per-flit traversal latency of the route (ms)."""
+        hops = self.hop_count(src_tile, dst_tile)
+        return self.router_clock.milliseconds(hops * CYCLES_PER_HOP)

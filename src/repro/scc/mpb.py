@@ -1,0 +1,99 @@
+"""The message-passing buffer (MPB) transfer model.
+
+The paper sends "all data in chunk sizes not exceeding 3 KB, ensuring that
+all messages are routed exclusively via the message passing buffers"
+(Section 4.1).  The MPB path on the SCC works as a rendezvous: the sender
+copies a chunk into the destination tile's MPB at core speed, the packet
+traverses the mesh, and the receiver copies it out.  The model charges,
+per chunk:
+
+* a fixed software overhead (iRCCE protocol handshake),
+* copy-in + copy-out time at the core's bytes-per-cycle copy rate,
+* the route traversal latency from :class:`~repro.scc.mesh.Mesh`.
+
+Total token latency is ``ceil(size / chunk) * per_chunk_cost`` — exactly
+linear in token size with a distance-dependent term, which is what the
+paper's reference [3] measures for the baremetal SCC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.scc.clock import ClockDomain
+from repro.scc.mesh import Mesh
+
+
+@dataclass(frozen=True)
+class MpbModel:
+    """Chunked MPB transfer-time model.
+
+    Parameters
+    ----------
+    mesh:
+        Router mesh providing route latency.
+    core_clock:
+        Tile/core clock domain (copy loops run at core speed).
+    chunk_bytes:
+        Maximum chunk size; the paper uses 3 KB.
+    mpb_bytes_per_tile:
+        MPB capacity per tile (16 KB on the SCC; 8 KB per core).  Chunks
+        must fit, which ``chunk_bytes`` guarantees.
+    copy_bytes_per_cycle:
+        Sustained copy rate of the P54C MPB copy loop.
+    per_chunk_overhead_cycles:
+        Fixed iRCCE handshake cost per chunk, in core cycles.
+    """
+
+    mesh: Mesh
+    core_clock: ClockDomain = ClockDomain("tile", 533e6)
+    chunk_bytes: int = 3 * 1024
+    mpb_bytes_per_tile: int = 16 * 1024
+    copy_bytes_per_cycle: float = 4.0
+    per_chunk_overhead_cycles: int = 500
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if self.chunk_bytes > self.mpb_bytes_per_tile // 2:
+            raise ValueError(
+                "chunks must fit in half an MPB (one core's share)"
+            )
+        if self.copy_bytes_per_cycle <= 0:
+            raise ValueError("copy rate must be positive")
+
+    def chunk_count(self, size_bytes: int) -> int:
+        """Number of chunks a payload is split into (min 1: the header)."""
+        if size_bytes <= 0:
+            return 1
+        return math.ceil(size_bytes / self.chunk_bytes)
+
+    def chunk_time_ms(self, chunk_size: int, src_tile: int, dst_tile: int) -> float:
+        """Transfer time of a single chunk between two tiles."""
+        copy_cycles = 2 * chunk_size / self.copy_bytes_per_cycle  # in + out
+        core_ms = self.core_clock.milliseconds(
+            copy_cycles + self.per_chunk_overhead_cycles
+        )
+        return core_ms + self.mesh.latency_ms(src_tile, dst_tile)
+
+    def transfer_time_ms(
+        self, size_bytes: int, src_tile: int, dst_tile: int
+    ) -> float:
+        """End-to-end time for a payload of ``size_bytes`` (ms)."""
+        if src_tile == dst_tile:
+            # Same-tile communication stays in the local MPB: copy only.
+            chunks = self.chunk_count(size_bytes)
+            copy_cycles = 2 * max(size_bytes, 1) / self.copy_bytes_per_cycle
+            return self.core_clock.milliseconds(
+                copy_cycles + chunks * self.per_chunk_overhead_cycles
+            )
+        full_chunks, remainder = divmod(max(size_bytes, 1), self.chunk_bytes)
+        total = full_chunks * self.chunk_time_ms(
+            self.chunk_bytes, src_tile, dst_tile
+        )
+        if remainder:
+            total += self.chunk_time_ms(remainder, src_tile, dst_tile)
+        if full_chunks == 0 and not remainder:
+            total = self.chunk_time_ms(1, src_tile, dst_tile)
+        return total

@@ -1,0 +1,64 @@
+"""iRCCE-style communication layer binding channels to the chip model.
+
+The paper's applications communicate through the iRCCE non-blocking
+library.  In this reproduction a :class:`RcceComm` object owns a booted
+:class:`~repro.scc.chip.SccChip` and a process-to-core
+:class:`~repro.scc.mapping.Mapping`, and manufactures the
+``transfer_latency`` callables that :class:`~repro.kpn.channel.Fifo`,
+:class:`~repro.core.replicator.ReplicatorChannel` and
+:class:`~repro.core.selector.SelectorChannel` accept: each token's
+transfer time is computed from its byte size and the XY route between the
+two mapped cores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.kpn.tokens import Token
+from repro.scc.chip import SccChip
+from repro.scc.mapping import Mapping
+
+
+class RcceComm:
+    """Latency provider for channels, given a chip and a mapping."""
+
+    def __init__(self, chip: SccChip, mapping: Mapping) -> None:
+        self.chip = chip
+        self.mapping = mapping
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def latency_between(self, src_process: str, dst_process: str
+                        ) -> Callable[[Token], float]:
+        """A ``transfer_latency`` callable for one channel.
+
+        Unmapped endpoints fall back to zero latency (useful for helper
+        processes that live off-chip in an experiment).
+        """
+        if src_process not in self.mapping or dst_process not in self.mapping:
+            return lambda token: 0.0
+        src_core = self.mapping.core_of(src_process)
+        dst_core = self.mapping.core_of(dst_process)
+
+        def latency(token: Token) -> float:
+            self.messages_sent += 1
+            self.bytes_sent += token.size_bytes
+            return self.chip.transfer_time_ms(
+                token.size_bytes, src_core, dst_core
+            )
+
+        return latency
+
+    def fixed_latency(self, src_core: int, dst_core: int
+                      ) -> Callable[[Token], float]:
+        """A latency callable between two explicit cores."""
+
+        def latency(token: Token) -> float:
+            self.messages_sent += 1
+            self.bytes_sent += token.size_bytes
+            return self.chip.transfer_time_ms(
+                token.size_bytes, src_core, dst_core
+            )
+
+        return latency

@@ -1,0 +1,50 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.analysis.report import full_report, table2_markdown, table3_markdown
+from repro.apps import AdpcmApp
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(AdpcmApp(seed=23), runs=2, warmup_tokens=50,
+                      post_tokens=25)
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(apps=[AdpcmApp(seed=23)], runs=2,
+                      warmup_tokens=50, post_tokens=20)
+
+
+class TestMarkdownTables:
+    def test_table2_structure(self, table2):
+        text = table2_markdown(table2)
+        assert text.startswith("### Table 2 — adpcm")
+        assert "| FIFO |" in text
+        assert "theoretical capacity" in text
+        assert "selector" in text and "replicator" in text
+        assert "**True**" in text
+
+    def test_table3_structure(self, table3):
+        text = table3_markdown(table3)
+        assert "### Table 3" in text
+        assert "adpcm" in text
+        assert "DF timers" in text
+
+    def test_full_report(self, table2, table3):
+        text = full_report([table2], table3, title="Smoke report")
+        assert text.startswith("# Smoke report")
+        assert "Table 2" in text and "Table 3" in text
+
+    def test_report_renders_without_table3(self, table2):
+        text = full_report([table2])
+        assert "Table 3" not in text
+
+    def test_markdown_pipes_balanced(self, table2):
+        for line in table2_markdown(table2).splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

@@ -1,0 +1,36 @@
+"""Tests for summary statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.mean == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_within_bound(self):
+        stats = summarize([1.0, 2.0])
+        assert stats.within(2.0)
+        assert not stats.within(1.9)
+
+    def test_row_dict(self):
+        row = summarize([1.0, 3.0]).row()
+        assert row["n"] == 2
+        assert row["max"] == 3.0

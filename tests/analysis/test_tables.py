@@ -1,0 +1,42 @@
+"""Tests for text-table rendering."""
+
+from repro.analysis.tables import format_kv_block, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 100.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[123.456], [12.34], [1.234]])
+        assert "123" in text
+        assert "12.3" in text
+        assert "1.23" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatKvBlock:
+    def test_keys_aligned(self):
+        text = format_kv_block("T", {"a": 1, "long_key": 2})
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].index(":") == lines[2].index(":")
+
+    def test_empty(self):
+        assert format_kv_block("T", {}) == "T"

@@ -1,0 +1,144 @@
+"""End-to-end tests of the three applications (Figure 2 topologies)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AdpcmApp, H264EncoderApp, MjpegDecoderApp
+from repro.apps.base import AppScale
+from repro.core.duplicate import build_duplicated, build_reference
+from repro.experiments.runner import run_duplicated, run_reference
+
+
+@pytest.fixture(scope="module")
+def mjpeg():
+    return MjpegDecoderApp(seed=3)
+
+
+@pytest.fixture(scope="module")
+def adpcm():
+    return AdpcmApp(seed=3)
+
+
+@pytest.fixture(scope="module")
+def h264():
+    return H264EncoderApp(seed=3)
+
+
+class TestTable1Models:
+    def test_mjpeg_matches_paper(self, mjpeg):
+        assert mjpeg.producer_model.as_tuple() == (30.0, 2.0, 30.0)
+        assert mjpeg.replica_output_models[0].as_tuple() == (30.0, 5.0, 30.0)
+        assert mjpeg.replica_output_models[1].as_tuple() == (
+            30.0, 30.0, 30.0
+        )
+
+    def test_adpcm_period_matches_paper(self, adpcm):
+        assert adpcm.producer_model.period == 6.3
+        assert adpcm.token_bytes_in == 3 * 1024
+
+    def test_minimized_has_zero_jitter(self, mjpeg):
+        minimized = mjpeg.minimized()
+        assert minimized.producer_model.jitter == 0.0
+        assert all(m.jitter == 0.0 for m in minimized.replica_input_models)
+        # The original is untouched.
+        assert mjpeg.producer_model.jitter == 2.0
+
+    def test_table1_row_fields(self, adpcm):
+        row = adpcm.table1_row()
+        assert row["application"] == "adpcm"
+        assert "<6.3, 0.5, 6.3>" == row["producer"]
+
+
+class TestMjpegStructure:
+    def test_replica_has_split_decoders_merge(self, mjpeg):
+        sizing = mjpeg.sizing()
+        blueprint = mjpeg.blueprint(4, 4 + sizing.selector_priming)
+        duplicated = build_duplicated(blueprint, sizing)
+        names = duplicated.replica_process_names(0)
+        assert "R1/splitstream" in names
+        assert "R1/mergeframe" in names
+        assert sum("decode" in n for n in names) == 3
+
+    def test_decoded_frames_flow(self, mjpeg):
+        sizing = mjpeg.sizing()
+        run = run_duplicated(mjpeg, 6, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        assert len(real) == 6
+        frame = real[0].value
+        assert isinstance(frame, np.ndarray)
+        assert frame.shape == (mjpeg.height, mjpeg.width)
+
+    def test_decode_is_faithful(self, mjpeg):
+        from repro.apps.sources import SyntheticVideo
+        sizing = mjpeg.sizing()
+        run = run_duplicated(mjpeg, 3, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        video = SyntheticVideo(mjpeg.width, mjpeg.height, seed=mjpeg.seed)
+        original = video.frame(0).astype(int)
+        decoded = real[0].value.astype(int)
+        assert np.abs(decoded - original).mean() < 4.0
+
+
+class TestAdpcmStructure:
+    def test_pipeline_output_is_pcm(self, adpcm):
+        sizing = adpcm.sizing()
+        run = run_duplicated(adpcm, 6, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        assert len(real) == 6
+        block = real[0].value
+        assert block.dtype == np.int16
+        assert block.nbytes == 3 * 1024
+
+    def test_roundtrip_matches_offline_codec(self, adpcm):
+        from repro.apps.sources import SyntheticAudio
+        from repro.codec.adpcm import AdpcmCodec
+        sizing = adpcm.sizing()
+        run = run_duplicated(adpcm, 3, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        audio = SyntheticAudio(seed=adpcm.seed)
+        expected = AdpcmCodec().roundtrip_block(audio.block(0))
+        assert np.array_equal(real[0].value, expected)
+
+
+class TestH264Structure:
+    def test_output_is_bitstream(self, h264):
+        sizing = h264.sizing()
+        run = run_duplicated(h264, 6, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        assert len(real) == 6
+        assert isinstance(real[0].value, bytes)
+
+    def test_bitstream_decodable(self, h264):
+        from repro.codec.h264 import H264Decoder
+        sizing = h264.sizing()
+        run = run_duplicated(h264, 5, seed=1, sizing=sizing)
+        real = [t for t in run.network.consumer.tokens if t.seqno > 0]
+        decoder = H264Decoder()
+        for token in real:
+            frame = decoder.decode_frame(token.value)
+            assert frame.shape == (h264.height, h264.width)
+
+
+class TestReferenceVsDuplicated:
+    @pytest.mark.parametrize("app_cls", [MjpegDecoderApp, AdpcmApp])
+    def test_fault_free_equivalence(self, app_cls):
+        app = app_cls(seed=4)
+        sizing = app.sizing()
+        reference = run_reference(app, 10, seed=2, sizing=sizing)
+        duplicated = run_duplicated(app, 10, seed=2, sizing=sizing,
+                                    verify_duplicates=True)
+        assert duplicated.detections == []
+        ref_real = [v for v in reference.values
+                    if isinstance(v, np.ndarray)]
+        dup_real = [v for v in duplicated.values
+                    if isinstance(v, np.ndarray)]
+        assert len(ref_real) == len(dup_real)
+        for a, b in zip(ref_real, dup_real):
+            assert np.array_equal(a, b)
+
+    def test_scaled_geometry_default(self):
+        app = MjpegDecoderApp()
+        assert (app.width, app.height) == (96, 72)
+        paper = MjpegDecoderApp(AppScale(paper_scale=True))
+        assert (paper.width, paper.height) == (320, 240)
+        assert paper.token_bytes_out == 320 * 240

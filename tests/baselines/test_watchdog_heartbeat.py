@@ -1,0 +1,97 @@
+"""Tests for the watchdog and heartbeat baselines."""
+
+import pytest
+
+from repro.baselines.heartbeat import HeartbeatMonitor
+from repro.baselines.watchdog import WatchdogMonitor
+from repro.kpn.network import Network
+from repro.kpn.process import PeriodicSource, RecordingSink
+from repro.rtc.pjd import PJD
+
+
+def run_with_monitor(monitor_factory, source_timing, tokens=30,
+                     kill_at=None):
+    net = Network("t")
+    src = net.add_process(PeriodicSource("src", source_timing, tokens,
+                                         seed=1))
+    snk = net.add_process(RecordingSink("snk"))
+    fifo = net.add_fifo("f", 64)
+    fifo.trace.record_events = True
+    src.output = fifo.writer
+    snk.input = fifo.reader
+    monitor = monitor_factory(fifo.trace)
+    net.add_process(monitor)
+    sim = net.instantiate()
+    if kill_at is not None:
+        sim.schedule_at(kill_at, lambda: sim.kill("src"))
+    sim.run(max_events=100_000)
+    return monitor
+
+
+class TestWatchdog:
+    def test_detects_silence(self):
+        monitor = run_with_monitor(
+            lambda trace: WatchdogMonitor("wd", 1.0, 400.0, [trace],
+                                          timeout=12.0),
+            PJD(10.0), tokens=100, kill_at=55.0,
+        )
+        assert len(monitor.detections) == 1
+        assert monitor.detections[0].time == pytest.approx(63.0, abs=0.8)
+
+    def test_quiet_on_healthy_periodic(self):
+        monitor = run_with_monitor(
+            lambda trace: WatchdogMonitor("wd", 1.0, 280.0, [trace],
+                                          timeout=12.0),
+            PJD(10.0), tokens=30,
+        )
+        assert monitor.detections == []
+
+    def test_tight_timeout_false_positives_on_bursty(self):
+        # The paper's point: a watchdog sized for the mean period
+        # false-positives on legal jitter.
+        monitor = run_with_monitor(
+            lambda trace: WatchdogMonitor("wd", 1.0, 200.0, [trace],
+                                          timeout=10.5),
+            PJD(10.0, 8.0, 2.0), tokens=30,
+        )
+        assert monitor.detections  # false positive on a healthy stream
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            WatchdogMonitor("wd", 1.0, 10.0, [], timeout=0.0)
+
+    def test_rejects_bad_poll(self):
+        with pytest.raises(ValueError):
+            WatchdogMonitor("wd", 0.0, 10.0, [], timeout=5.0)
+
+
+class TestHeartbeat:
+    def test_detects_missed_slot(self):
+        monitor = run_with_monitor(
+            lambda trace: HeartbeatMonitor("hb", 1.0, 400.0, [trace],
+                                           period=10.0, grace=1.0),
+            PJD(10.0), tokens=100, kill_at=55.0,
+        )
+        assert monitor.detections
+
+    def test_false_positives_on_jitter(self):
+        # Strict heartbeat monitoring is "too restrictive" (Section 1):
+        # legal jitter already trips it.
+        monitor = run_with_monitor(
+            lambda trace: HeartbeatMonitor("hb", 1.0, 300.0, [trace],
+                                           period=10.0),
+            PJD(10.0, 9.0, 1.0), tokens=30,
+        )
+        assert monitor.detections
+
+    def test_grace_tolerates_small_jitter(self):
+        monitor = run_with_monitor(
+            lambda trace: HeartbeatMonitor("hb", 1.0, 280.0, [trace],
+                                           period=10.0, grace=6.0),
+            PJD(10.0, 4.0, 5.0), tokens=30,
+        )
+        assert monitor.detections == []
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor("hb", 1.0, 10.0, [], period=0.0)

@@ -1,0 +1,55 @@
+"""Tests for frame tiling."""
+
+import numpy as np
+import pytest
+
+from repro.codec.blocks import blocks_to_frame, frame_to_blocks, pad_frame
+
+
+class TestPadFrame:
+    def test_no_pad_needed(self):
+        frame = np.zeros((16, 24))
+        assert pad_frame(frame) is frame
+
+    def test_pads_to_multiple(self):
+        frame = np.zeros((10, 13))
+        padded = pad_frame(frame)
+        assert padded.shape == (16, 16)
+
+    def test_edge_replication(self):
+        frame = np.arange(9, dtype=float).reshape(3, 3)
+        padded = pad_frame(frame, block=4)
+        assert padded[3, 0] == frame[2, 0]
+        assert padded[0, 3] == frame[0, 2]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pad_frame(np.zeros((2, 2, 3)))
+
+
+class TestTiling:
+    def test_roundtrip_exact_multiple(self):
+        rng = np.random.default_rng(0)
+        frame = rng.integers(0, 255, (24, 32)).astype(np.float64)
+        blocks = frame_to_blocks(frame)
+        assert blocks.shape == (12, 8, 8)
+        back = blocks_to_frame(blocks, frame.shape)
+        assert np.array_equal(back, frame)
+
+    def test_roundtrip_with_padding(self):
+        rng = np.random.default_rng(1)
+        frame = rng.integers(0, 255, (20, 30)).astype(np.float64)
+        blocks = frame_to_blocks(frame)
+        back = blocks_to_frame(blocks, frame.shape)
+        assert np.array_equal(back, frame)
+
+    def test_block_order_row_major(self):
+        frame = np.zeros((16, 16))
+        frame[0:8, 8:16] = 7.0  # second block of the first block-row
+        blocks = frame_to_blocks(frame)
+        assert np.all(blocks[1] == 7.0)
+        assert np.all(blocks[0] == 0.0)
+
+    def test_wrong_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_to_frame(np.zeros((3, 8, 8)), (16, 16))

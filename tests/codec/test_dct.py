@@ -1,0 +1,47 @@
+"""Tests for the 8x8 DCT."""
+
+import numpy as np
+import pytest
+
+from repro.codec.dct import _dct_matrix, dct2, idct2
+
+
+class TestDctMatrix:
+    def test_orthonormal(self):
+        matrix = _dct_matrix()
+        assert np.allclose(matrix @ matrix.T, np.eye(8), atol=1e-12)
+
+    def test_dc_row_constant(self):
+        matrix = _dct_matrix()
+        assert np.allclose(matrix[0], matrix[0, 0])
+
+
+class TestDct2:
+    def test_roundtrip_single_block(self):
+        rng = np.random.default_rng(0)
+        block = rng.normal(0, 50, (8, 8))
+        assert np.allclose(idct2(dct2(block)), block, atol=1e-9)
+
+    def test_roundtrip_stack(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(0, 50, (10, 8, 8))
+        assert np.allclose(idct2(dct2(blocks)), blocks, atol=1e-9)
+
+    def test_constant_block_energy_in_dc(self):
+        block = np.full((8, 8), 10.0)
+        coefficients = dct2(block)
+        assert coefficients[0, 0] == pytest.approx(80.0)  # 10 * 8
+        assert np.allclose(coefficients.reshape(-1)[1:], 0.0, atol=1e-9)
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        block = rng.normal(0, 30, (8, 8))
+        assert np.sum(block ** 2) == pytest.approx(
+            np.sum(dct2(block) ** 2)
+        )
+
+    def test_linearity(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 10, (8, 8))
+        b = rng.normal(0, 10, (8, 8))
+        assert np.allclose(dct2(a + 2 * b), dct2(a) + 2 * dct2(b))

@@ -1,0 +1,64 @@
+"""Tests for exp-Golomb coding."""
+
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.entropy import (
+    read_signed_exp_golomb,
+    read_unsigned_exp_golomb,
+    write_signed_exp_golomb,
+    write_unsigned_exp_golomb,
+)
+
+
+class TestUnsigned:
+    def test_known_codewords(self):
+        # H.264 spec: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+        expectations = {0: "1", 1: "010", 2: "011", 3: "00100",
+                        4: "00101", 5: "00110", 6: "00111", 7: "0001000"}
+        for value, bits in expectations.items():
+            writer = BitWriter()
+            write_unsigned_exp_golomb(writer, value)
+            assert writer.bit_length == len(bits)
+            got = "".join(
+                str((writer.getvalue()[i // 8] >> (7 - i % 8)) & 1)
+                for i in range(writer.bit_length)
+            )
+            assert got == bits
+
+    def test_roundtrip_range(self):
+        writer = BitWriter()
+        for value in range(200):
+            write_unsigned_exp_golomb(writer, value)
+        reader = BitReader(writer.getvalue())
+        for value in range(200):
+            assert read_unsigned_exp_golomb(reader) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            write_unsigned_exp_golomb(BitWriter(), -1)
+
+    def test_malformed_raises(self):
+        reader = BitReader(b"\x00" * 20)
+        with pytest.raises(ValueError):
+            read_unsigned_exp_golomb(reader)
+
+
+class TestSigned:
+    def test_mapping_order(self):
+        # H.264 mapping: 0, 1, -1, 2, -2, ...
+        writer = BitWriter()
+        for value in [0, 1, -1, 2, -2, 7, -7]:
+            write_signed_exp_golomb(writer, value)
+        reader = BitReader(writer.getvalue())
+        for value in [0, 1, -1, 2, -2, 7, -7]:
+            assert read_signed_exp_golomb(reader) == value
+
+    def test_roundtrip_range(self):
+        writer = BitWriter()
+        values = list(range(-150, 151))
+        for value in values:
+            write_signed_exp_golomb(writer, value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert read_signed_exp_golomb(reader) == value

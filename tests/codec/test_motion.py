@@ -1,0 +1,61 @@
+"""Tests for motion estimation / compensation."""
+
+import numpy as np
+import pytest
+
+from repro.codec.motion import motion_compensate, motion_estimate
+
+
+def textured(height=32, width=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 255, (height, width)).astype(np.float64)
+
+
+class TestMotionEstimate:
+    def test_finds_exact_translation(self):
+        reference = textured()
+        # Current frame: reference shifted down-right by (2, 3).
+        current = np.roll(np.roll(reference, 2, axis=0), 3, axis=1)
+        dy, dx, sad = motion_estimate(current, reference, 8, 8,
+                                      search_range=4)
+        assert (dy, dx) == (-2, -3)
+        assert sad == 0.0
+
+    def test_zero_motion_on_static(self):
+        reference = textured(seed=1)
+        dy, dx, sad = motion_estimate(reference, reference, 8, 8)
+        assert (dy, dx) == (0, 0)
+        assert sad == 0.0
+
+    def test_prefers_smallest_vector_on_tie(self):
+        flat = np.zeros((32, 32))
+        dy, dx, _ = motion_estimate(flat, flat, 8, 8, search_range=3)
+        assert (dy, dx) == (0, 0)
+
+    def test_respects_frame_bounds(self):
+        reference = textured()
+        dy, dx, _ = motion_estimate(reference, reference, 0, 0,
+                                    search_range=4)
+        # Candidates reaching outside the frame are skipped.
+        assert dy >= 0 and dx >= 0 or (dy, dx) == (0, 0)
+
+
+class TestMotionCompensate:
+    def test_zero_field_is_identity(self):
+        reference = textured()
+        motion = np.zeros((4, 4, 2), dtype=np.int64)
+        assert np.array_equal(motion_compensate(reference, motion),
+                              reference)
+
+    def test_uniform_shift(self):
+        reference = textured()
+        motion = np.zeros((4, 4, 2), dtype=np.int64)
+        motion[1, 1] = (2, 1)
+        predicted = motion_compensate(reference, motion)
+        block = predicted[8:16, 8:16]
+        assert np.array_equal(block, reference[10:18, 9:17])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            motion_compensate(np.zeros((16, 16)),
+                              np.zeros((4, 4, 2), dtype=np.int64))

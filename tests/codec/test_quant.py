@@ -1,0 +1,54 @@
+"""Tests for quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quant import (
+    JPEG_LUMA_QUANT,
+    dequantize,
+    quality_scaled_table,
+    quantize,
+)
+
+
+class TestQualityScaling:
+    def test_quality_50_is_base(self):
+        assert np.array_equal(quality_scaled_table(50), JPEG_LUMA_QUANT)
+
+    def test_higher_quality_finer_steps(self):
+        q90 = quality_scaled_table(90)
+        q30 = quality_scaled_table(30)
+        assert np.all(q90 <= q30)
+
+    def test_clipped_to_valid_range(self):
+        q1 = quality_scaled_table(1)
+        q100 = quality_scaled_table(100)
+        assert q1.max() <= 255
+        assert q100.min() >= 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quality_scaled_table(0)
+        with pytest.raises(ValueError):
+            quality_scaled_table(101)
+
+
+class TestQuantize:
+    def test_roundtrip_bounded_error(self):
+        rng = np.random.default_rng(0)
+        coefficients = rng.normal(0, 100, (8, 8))
+        table = quality_scaled_table(75)
+        levels = quantize(coefficients, table)
+        restored = dequantize(levels, table)
+        assert np.all(np.abs(restored - coefficients) <= table / 2 + 1e-9)
+
+    def test_integers_out(self):
+        rng = np.random.default_rng(1)
+        levels = quantize(rng.normal(0, 100, (8, 8)), JPEG_LUMA_QUANT)
+        assert np.allclose(levels, np.round(levels))
+
+    def test_round_half_away_from_zero(self):
+        table = np.full((1,), 10.0)
+        assert quantize(np.array([5.0]), table)[0] == 1.0
+        assert quantize(np.array([-5.0]), table)[0] == -1.0
+        assert quantize(np.array([4.9]), table)[0] == 0.0

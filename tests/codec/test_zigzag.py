@@ -1,0 +1,63 @@
+"""Tests for zig-zag scanning and run-length coding."""
+
+import numpy as np
+import pytest
+
+from repro.codec.zigzag import (
+    ZIGZAG_ORDER,
+    inverse_zigzag,
+    run_length_decode,
+    run_length_encode,
+    zigzag,
+)
+
+
+class TestZigzagOrder:
+    def test_permutation(self):
+        assert sorted(ZIGZAG_ORDER.tolist()) == list(range(64))
+
+    def test_standard_prefix(self):
+        # The JPEG zig-zag starts: (0,0),(0,1),(1,0),(2,0),(1,1),(0,2)...
+        expected = [0, 1, 8, 16, 9, 2, 3, 10]
+        assert ZIGZAG_ORDER[:8].tolist() == expected
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        block = rng.integers(-50, 50, (8, 8)).astype(np.float64)
+        assert np.array_equal(inverse_zigzag(zigzag(block)), block)
+
+    def test_dc_first(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 42
+        assert zigzag(block)[0] == 42
+
+
+class TestRunLength:
+    def test_all_zero_block(self):
+        pairs = run_length_encode(np.zeros(63))
+        assert pairs == [(0, 0)]
+        assert np.array_equal(run_length_decode(pairs, 63), np.zeros(63))
+
+    def test_roundtrip_sparse(self):
+        vector = np.zeros(63)
+        vector[2] = 5
+        vector[10] = -3
+        vector[62] = 1
+        pairs = run_length_encode(vector)
+        assert np.array_equal(run_length_decode(pairs, 63), vector)
+
+    def test_roundtrip_dense(self):
+        rng = np.random.default_rng(1)
+        vector = rng.integers(-5, 6, 63).astype(np.float64)
+        pairs = run_length_encode(vector)
+        assert np.array_equal(run_length_decode(pairs, 63), vector)
+
+    def test_eob_terminates(self):
+        vector = np.zeros(63)
+        vector[0] = 9
+        pairs = run_length_encode(vector)
+        assert pairs == [(0, 9), (0, 0)]
+
+    def test_overlong_data_rejected(self):
+        with pytest.raises(ValueError):
+            run_length_decode([(70, 1), (0, 0)], 63)

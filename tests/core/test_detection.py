@@ -1,0 +1,50 @@
+"""Tests for fault-detection bookkeeping."""
+
+from repro.core.detection import DetectionLog, FaultReport
+
+
+class TestDetectionLog:
+    def test_record_and_length(self):
+        log = DetectionLog()
+        log.record(1.0, "selector", 0, "stall")
+        log.record(2.0, "replicator", 1, "overflow")
+        assert len(log) == 2
+
+    def test_first_unfiltered(self):
+        log = DetectionLog()
+        log.record(5.0, "selector", 0, "stall")
+        log.record(1.0, "replicator", 1, "overflow")
+        # "first" means insertion order, which tracks simulation time
+        # because detections are recorded as they happen.
+        assert log.first().time == 5.0
+
+    def test_first_filtered_by_site(self):
+        log = DetectionLog()
+        log.record(1.0, "selector", 0, "stall")
+        log.record(2.0, "replicator", 0, "overflow")
+        assert log.first(site="replicator").time == 2.0
+
+    def test_first_filtered_by_replica(self):
+        log = DetectionLog()
+        log.record(1.0, "selector", 0, "stall")
+        log.record(2.0, "selector", 1, "divergence")
+        assert log.first(replica=1).mechanism == "divergence"
+
+    def test_first_no_match(self):
+        log = DetectionLog()
+        log.record(1.0, "selector", 0, "stall")
+        assert log.first(site="replicator") is None
+
+    def test_bool_and_iter(self):
+        log = DetectionLog()
+        assert not log
+        report = log.record(1.0, "selector", 0, "stall")
+        assert log
+        assert list(log) == [report]
+
+    def test_report_is_frozen(self):
+        import dataclasses
+        import pytest
+        report = FaultReport(1.0, "selector", 0, "stall")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.time = 2.0

@@ -1,0 +1,196 @@
+"""Tests for multi-input/multi-output critical subnetworks."""
+
+import pytest
+
+from repro.core.detection import DetectionLog
+from repro.core.multiport import (
+    FaultCoordinator,
+    MultiPortBlueprint,
+    build_multiport,
+    size_multiport_network,
+)
+from repro.core.replicator import ReplicatorChannel
+from repro.core.selector import SelectorChannel
+from repro.kpn.network import Network
+from repro.kpn.process import PacedRelay, PeriodicConsumer, PeriodicSource
+from repro.kpn.tokens import Token
+from repro.rtc.pjd import PJD
+
+FAST = PJD(10.0, 1.0, 10.0)
+SLOW = PJD(25.0, 2.0, 25.0)
+FAST_REPLICAS = [PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)]
+SLOW_REPLICAS = [PJD(25.0, 3.0, 25.0), PJD(25.0, 10.0, 25.0)]
+
+
+def two_channel_blueprint(tokens_fast, tokens_slow, priming, seed=1):
+    """Two independent lanes (fast and slow) inside one replica."""
+
+    def producer(i, timing, count):
+        def make(net: Network):
+            return net.add_process(
+                PeriodicSource(f"P{i}", timing, count,
+                               payload=lambda k: ((i, k), 32),
+                               seed=seed * 10 + i)
+            )
+        return make
+
+    def consumer(j, timing, count):
+        def make(net: Network):
+            return net.add_process(
+                PeriodicConsumer(f"C{j}", timing, count,
+                                 seed=seed * 10 + 5 + j)
+            )
+        return make
+
+    def make_critical(net, prefix, variant, inputs, outputs):
+        lane_models = [FAST_REPLICAS[variant], SLOW_REPLICAS[variant]]
+        processes = []
+        for lane, (inp, outp) in enumerate(zip(inputs, outputs)):
+            relay = net.add_process(
+                PacedRelay(f"{prefix}/lane{lane}", lane_models[lane],
+                           seed=seed * 10 + 20 + variant * 2 + lane)
+            )
+            relay.input = inp
+            relay.output = outp
+            processes.append(relay)
+        return processes
+
+    return MultiPortBlueprint(
+        name="twolane",
+        make_producers=[
+            producer(0, FAST, tokens_fast),
+            producer(1, SLOW, tokens_slow),
+        ],
+        make_critical=make_critical,
+        make_consumers=[
+            consumer(0, FAST, tokens_fast + priming[0]),
+            consumer(1, SLOW, tokens_slow + priming[1]),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def sizing():
+    return size_multiport_network(
+        [FAST, SLOW],
+        [FAST_REPLICAS, SLOW_REPLICAS],
+        [FAST_REPLICAS, SLOW_REPLICAS],
+        [FAST, SLOW],
+    )
+
+
+def build(sizing, tokens_fast=60, tokens_slow=24, seed=1, **kwargs):
+    priming = [s.selector_priming for s in sizing.outputs]
+    blueprint = two_channel_blueprint(tokens_fast, tokens_slow, priming,
+                                      seed=seed)
+    return build_multiport(blueprint, sizing, **kwargs)
+
+
+class TestSizing:
+    def test_per_channel_results(self, sizing):
+        assert len(sizing.inputs) == 2
+        assert len(sizing.outputs) == 2
+        # The slow lane needs no more buffering than the fast lane.
+        assert sizing.inputs[1].replicator_capacities[0] <= (
+            sizing.inputs[0].replicator_capacities[0] + 1
+        )
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            size_multiport_network([FAST], [FAST_REPLICAS, SLOW_REPLICAS],
+                                   [FAST_REPLICAS], [FAST])
+
+
+class TestFaultFree:
+    def test_both_lanes_complete(self, sizing):
+        multiport = build(sizing)
+        multiport.run(max_events=300_000)
+        assert len(multiport.detection_log) == 0
+        fast_consumer, slow_consumer = multiport.consumers
+        assert fast_consumer.stalls == 0
+        assert slow_consumer.stalls == 0
+        fast_real = [t for t in fast_consumer.tokens if t.seqno > 0]
+        slow_real = [t for t in slow_consumer.tokens if t.seqno > 0]
+        assert [t.value for t in fast_real] == [(0, k) for k in range(60)]
+        assert [t.value for t in slow_real] == [(1, k) for k in range(24)]
+
+    def test_lane_isolation(self, sizing):
+        multiport = build(sizing)
+        multiport.run(max_events=300_000)
+        # Fast-lane traffic must not have consumed slow-lane capacity.
+        assert multiport.selectors[1].writes[0] <= 26
+
+
+class TestFaultPropagation:
+    def _run_with_fault(self, sizing, at=200.0, replica=0):
+        multiport = build(sizing)
+        sim = multiport.network.instantiate()
+
+        def kill():
+            for process in multiport.replicas[replica]:
+                sim.kill(process.name)
+
+        sim.schedule_at(at, kill)
+        sim.run(max_events=300_000)
+        return multiport
+
+    def test_one_detection_quarantines_everywhere(self, sizing):
+        multiport = self._run_with_fault(sizing)
+        # The fast lane detects first; the coordinator must have
+        # propagated the verdict to every channel of the replica.
+        assert multiport.detection_log
+        first = multiport.detection_log.first()
+        for channel in multiport.replicators + multiport.selectors:
+            assert channel.fault[first.replica] is True
+
+    def test_both_consumers_survive(self, sizing):
+        multiport = self._run_with_fault(sizing)
+        for consumer, count in zip(multiport.consumers, (60, 24)):
+            assert consumer.stalls == 0
+            real = [t for t in consumer.tokens if t.seqno > 0]
+            assert len(real) == count
+
+    def test_detection_faster_than_slow_lane_alone(self, sizing):
+        """The fault propagates from the fast lane to the slow lane well
+        before the slow lane could have detected it by itself."""
+        multiport = self._run_with_fault(sizing)
+        first = multiport.detection_log.first()
+        slow_selector = multiport.selectors[1]
+        assert slow_selector.fault[first.replica]
+        # The slow lane's own detection would need multiple 25 ms
+        # periods; the fast lane flags within a few 10 ms periods.
+        assert first.time - 200.0 < 3 * 25.0
+
+    def test_either_replica_can_fail(self, sizing):
+        for replica in (0, 1):
+            multiport = self._run_with_fault(sizing, replica=replica)
+            flagged = {r.replica for r in multiport.detection_log}
+            assert flagged == {replica}
+
+
+class TestFaultCoordinator:
+    def test_quarantine_is_silent(self):
+        log = DetectionLog()
+        coordinator = FaultCoordinator(log)
+        replicator = ReplicatorChannel("r", (2, 2), detection_log=log)
+        selector = SelectorChannel("s", (4, 4), detection_log=log)
+        coordinator.register(replicator)
+        coordinator.register(selector)
+        # A detection on the selector...
+        selector._flag(1, "stall", 5.0, "test")
+        # ...propagates to the replicator without a second report.
+        assert replicator.fault == [False, True]
+        assert len(log) == 1
+
+    def test_quarantined_selector_discards_writes(self):
+        log = DetectionLog()
+        coordinator = FaultCoordinator(log)
+        a = SelectorChannel("a", (4, 4), detection_log=log)
+        b = SelectorChannel("b", (4, 4), detection_log=log)
+        coordinator.register(a)
+        coordinator.register(b)
+        a._flag(0, "divergence", 1.0, "test")
+        status, _ = b.poll_write(0, Token(value=1, seqno=1, stamp=2.0), 2.0)
+        assert status == "ok"
+        assert b.drops[0] == 1
+        assert b.fill == 0

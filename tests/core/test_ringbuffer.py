@@ -1,0 +1,165 @@
+"""Differential tests: ring-buffer replicator vs the two-queue design."""
+
+import pytest
+
+from repro.core.replicator import ReplicatorChannel
+from repro.core.ringbuffer import RingBufferReplicator
+from repro.kpn.errors import ProtocolError
+from repro.kpn.tokens import Token
+
+
+def tok(seqno):
+    return Token(value=seqno * 3, seqno=seqno, stamp=0.0)
+
+
+def both(capacities=(2, 3), **kwargs):
+    kwargs.setdefault("strict_single_fault", False)
+    return (
+        ReplicatorChannel("two-queue", capacities, **kwargs),
+        RingBufferReplicator("ring", capacities, **kwargs),
+    )
+
+
+def drive(channel, steps):
+    """Apply (op, arg) steps; return the observable outcomes."""
+    outcomes = []
+    now = 0.0
+    seq = 1
+    for op in steps:
+        now += 1.0
+        if op == "w":
+            status, _ = channel.poll_write(0, tok(seq), now)
+            outcomes.append(("w", status))
+            if status == "ok":
+                seq += 1
+        else:
+            index = 0 if op == "r0" else 1
+            status, token = channel.poll_read(index, now)
+            outcomes.append(
+                (op, status, token.seqno if status == "ok" else None)
+            )
+    return outcomes
+
+
+# Schedules never read from a replica after its condemnation: the two
+# designs intentionally differ there (the two-queue version retains the
+# condemned replica's leftovers, the ring reclaims them) — that case has
+# its own tests below.
+DIFFERENTIAL_SCHEDULES = [
+    ["w", "r0", "r1", "w", "r0", "r1"],
+    ["w", "w", "r0", "w", "r0", "r0", "r1", "r1", "r1"],
+    ["r0", "w", "r1", "r0", "r1", "w", "w", "r1", "r0"],
+    ["w", "w", "r1", "w", "r1", "w", "r1"],  # replica 0 never reads -> fault
+    ["w", "r0", "w", "r1", "r0", "w", "r1", "r0", "r1"],
+]
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("steps", DIFFERENTIAL_SCHEDULES)
+    def test_same_observable_outcomes(self, steps):
+        two_queue, ring = both()
+        assert drive(two_queue, list(steps)) == drive(ring, list(steps))
+
+    @pytest.mark.parametrize("steps", DIFFERENTIAL_SCHEDULES)
+    def test_same_fault_verdicts(self, steps):
+        two_queue, ring = both()
+        drive(two_queue, list(steps))
+        drive(ring, list(steps))
+        assert two_queue.fault == ring.fault
+        assert len(two_queue.log) == len(ring.log)
+        for a, b in zip(two_queue.log, ring.log):
+            assert (a.replica, a.mechanism) == (b.replica, b.mechanism)
+
+    def test_divergence_detection_matches(self):
+        kwargs = {"divergence_threshold": 2}
+        two_queue, ring = both((10, 10), **kwargs)
+        steps = ["w", "r0"] * 4
+        drive(two_queue, list(steps))
+        drive(ring, list(steps))
+        assert two_queue.fault == ring.fault == [False, True]
+
+
+class TestRingSpecifics:
+    def test_single_storage(self):
+        ring = RingBufferReplicator("ring", (2, 3))
+        for seq in (1, 2):
+            ring.poll_write(0, tok(seq), float(seq))
+        # Two tokens stored once each, visible to both readers.
+        assert ring.live_slots == 2
+        assert ring.fill(0) == 2 and ring.fill(1) == 2
+
+    def test_live_slots_track_slowest_healthy_reader(self):
+        ring = RingBufferReplicator("ring", (3, 3))
+        for seq in (1, 2, 3):
+            ring.poll_write(0, tok(seq), float(seq))
+        ring.poll_read(0, 4.0)
+        ring.poll_read(0, 5.0)
+        assert ring.live_slots == 3  # reader 1 still needs all three
+
+    def test_storage_bounded_by_max_capacity(self):
+        ring = RingBufferReplicator("ring", (2, 3))
+        assert ring.ring_size == 3
+        # Against the two-queue design's 5 slots for the same sizing.
+
+    def test_same_token_object_not_copied(self):
+        ring = RingBufferReplicator("ring", (2, 2))
+        token = tok(1)
+        ring.poll_write(0, token, 0.0)
+        _, got0 = ring.poll_read(0, 1.0)
+        _, got1 = ring.poll_read(1, 1.0)
+        assert got0 is token and got1 is token
+
+    def test_condemned_reader_leftovers_dropped(self):
+        ring = RingBufferReplicator("ring", (1, 4))
+        ring.poll_write(0, tok(1), 0.0)
+        ring.poll_write(0, tok(2), 1.0)  # flags replica 0 (cap 1 full)
+        assert ring.fault == [True, False]
+        status, _ = ring.poll_read(0, 2.0)
+        assert status == "empty"
+        # The healthy replica still gets everything.
+        seqnos = []
+        while True:
+            status, token = ring.poll_read(1, 3.0)
+            if status != "ok":
+                break
+            seqnos.append(token.seqno)
+        assert seqnos == [1, 2]
+
+    def test_transfer_latency(self):
+        ring = RingBufferReplicator("ring", (2, 2),
+                                    transfer_latency=lambda t: 5.0)
+        ring.poll_write(0, tok(1), 0.0)
+        status, ready = ring.poll_read(0, 1.0)
+        assert status == "wait" and ready == pytest.approx(5.0)
+
+    def test_bad_interfaces(self):
+        ring = RingBufferReplicator("ring", (2, 2))
+        with pytest.raises(ProtocolError):
+            ring.poll_read(2, 0.0)
+        with pytest.raises(ProtocolError):
+            ring.poll_write(1, tok(1), 0.0)
+
+
+class TestRingInNetwork:
+    def test_drop_in_for_duplicated_network(self):
+        """The ring variant slots into a full duplicated-network run."""
+        from tests.helpers import synthetic_blueprint, synthetic_sizing
+        from repro.core.duplicate import build_duplicated
+
+        sizing = synthetic_sizing()
+        blueprint = synthetic_blueprint(40, 40 + sizing.selector_priming)
+        duplicated = build_duplicated(blueprint, sizing)
+        # Swap the replicator for the ring variant before instantiation.
+        ring = RingBufferReplicator(
+            "ring-replicator",
+            sizing.replicator_capacities,
+            divergence_threshold=sizing.replicator_threshold,
+            detection_log=duplicated.detection_log,
+        )
+        duplicated.network.channels["ring-replicator"] = ring
+        duplicated.producer.output = ring.writer
+        for k, processes in enumerate(duplicated.replicas):
+            processes[0].input = ring.reader(k)
+        duplicated.run(max_events=200_000)
+        assert len(duplicated.detection_log) == 0
+        assert duplicated.consumer.stalls == 0

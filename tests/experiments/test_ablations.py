@@ -1,0 +1,77 @@
+"""Tests for the ablation sweeps.
+
+Latency monotonicity is checked on the ADPCM application; the
+false-positive regimes need the bursty synthetic workload because the
+media applications' generated traces stay well inside their declared
+envelopes (their divergence never exceeds one token), so under-sizing
+does not bite on them — which is itself a Table 2 finding.
+"""
+
+import pytest
+
+from repro.apps import AdpcmApp
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.ablations import (
+    capacity_margin_sweep,
+    polling_interval_sweep,
+    threshold_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def adpcm():
+    return AdpcmApp(seed=13)
+
+
+@pytest.fixture(scope="module")
+def bursty():
+    return SyntheticApp.bursty(seed=2)
+
+
+class TestThresholdSweep:
+    def test_latency_monotone_in_threshold(self, adpcm):
+        d = adpcm.sizing().selector_threshold
+        points = threshold_sweep(adpcm, [d, d + 3], runs=2,
+                                 warmup_tokens=50, post_tokens=20)
+        assert points[1].mean_latency_ms >= points[0].mean_latency_ms
+
+    def test_eq5_threshold_no_false_positives(self, bursty):
+        d = bursty.sizing().selector_threshold
+        points = threshold_sweep(bursty, [d], runs=3,
+                                 warmup_tokens=60, post_tokens=20)
+        assert points[0].false_positives == 0
+        assert points[0].detected_runs == points[0].runs
+
+    def test_undersized_threshold_false_positives(self, bursty):
+        points = threshold_sweep(bursty, [1], runs=3,
+                                 warmup_tokens=60, post_tokens=20)
+        assert points[0].false_positives > 0
+
+
+class TestPollingSweep:
+    def test_latency_grows_with_interval(self, adpcm):
+        points = polling_interval_sweep(adpcm, [0.5, 8.0], runs=2,
+                                        warmup_tokens=50, post_tokens=20)
+        fine, coarse = points
+        assert fine.parameter == 0.5
+        assert coarse.mean_latency_ms >= fine.mean_latency_ms
+        assert fine.detected_runs == fine.runs
+
+
+class TestCapacitySweep:
+    def test_eq3_capacity_clean(self, bursty):
+        points = capacity_margin_sweep(bursty, [1.0], runs=3,
+                                       warmup_tokens=60, post_tokens=20)
+        assert points[0].false_positives == 0
+        assert points[0].detected_runs == points[0].runs
+
+    def test_undersized_capacity_false_positives(self, bursty):
+        points = capacity_margin_sweep(bursty, [0.2], runs=3,
+                                       warmup_tokens=60, post_tokens=20)
+        assert points[0].false_positives > 0
+
+    def test_oversized_capacity_slower_detection(self, adpcm):
+        points = capacity_margin_sweep(adpcm, [1.0, 3.0], runs=2,
+                                       warmup_tokens=50, post_tokens=20)
+        base, big = points
+        assert big.mean_latency_ms >= base.mean_latency_ms

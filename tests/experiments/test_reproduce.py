@@ -1,0 +1,32 @@
+"""Tests for the one-call reproduction entry point."""
+
+import pytest
+
+from repro.experiments.reproduce import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    path = tmp_path_factory.mktemp("repro") / "report.md"
+    return reproduce_all(runs=2, warmup_tokens=50,
+                         output_path=str(path)), path
+
+
+class TestReproduceAll:
+    def test_all_verdicts_hold(self, result):
+        reproduction, _ = result
+        assert reproduction.all_verdicts_hold
+
+    def test_covers_all_applications(self, result):
+        reproduction, _ = result
+        names = [r.app_name for r in reproduction.table2_results]
+        assert names == ["mjpeg", "adpcm", "h264"]
+        assert len(reproduction.table3_result.rows) == 3
+
+    def test_markdown_written(self, result):
+        reproduction, path = result
+        text = path.read_text()
+        assert text == reproduction.markdown
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "Table 1" in reproduction.table1_text

@@ -1,0 +1,93 @@
+"""Tests for the single-run experiment primitives."""
+
+import pytest
+
+from repro.apps import AdpcmApp
+from repro.experiments.runner import (
+    fault_time_for,
+    run_duplicated,
+    run_reference,
+)
+from repro.faults.models import FAIL_STOP, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def app():
+    return AdpcmApp(seed=7)
+
+
+@pytest.fixture(scope="module")
+def sizing(app):
+    return app.sizing()
+
+
+class TestFaultTime:
+    def test_after_warmup(self, app):
+        time = fault_time_for(app, 100, phase=0.5)
+        assert time == pytest.approx(100.5 * 6.3)
+
+    def test_phase_shifts(self, app):
+        assert fault_time_for(app, 10, 0.1) < fault_time_for(app, 10, 0.9)
+
+
+class TestRunReference:
+    def test_complete_run(self, app, sizing):
+        result = run_reference(app, 20, seed=1, sizing=sizing)
+        assert len(result.values) == 20 + sizing.selector_priming
+        assert result.stalls == 0
+        assert result.events > 0
+        assert len(result.inter_arrival) == len(result.times) - 1
+
+    def test_deterministic(self, app, sizing):
+        a = run_reference(app, 10, seed=5, sizing=sizing)
+        b = run_reference(app, 10, seed=5, sizing=sizing)
+        assert a.times == b.times
+
+    def test_seed_changes_timing(self, app, sizing):
+        a = run_reference(app, 10, seed=5, sizing=sizing)
+        b = run_reference(app, 10, seed=6, sizing=sizing)
+        assert a.times != b.times
+
+
+class TestRunDuplicated:
+    def test_fault_free_clean(self, app, sizing):
+        result = run_duplicated(app, 20, seed=1, sizing=sizing)
+        assert result.detections == []
+        assert result.stalls == 0
+        assert result.detection_latency() is None
+
+    def test_fault_detected(self, app, sizing):
+        fault = FaultSpec(replica=0, time=fault_time_for(app, 10),
+                          kind=FAIL_STOP)
+        result = run_duplicated(app, 25, seed=1, fault=fault,
+                                sizing=sizing)
+        assert result.detections
+        assert result.detection_latency() > 0
+        assert result.detection_latency("selector") is not None
+        assert result.detection_latency("replicator") is not None
+
+    def test_overhead_reports_populated(self, app, sizing):
+        result = run_duplicated(app, 10, seed=1, sizing=sizing)
+        assert result.overhead_replicator.total_operations > 0
+        assert result.overhead_selector.total_operations > 0
+        assert result.overhead_selector.per_token_us > 0
+
+    def test_max_fills_within_sizing(self, app, sizing):
+        result = run_duplicated(app, 30, seed=2, sizing=sizing)
+        assert result.max_fills["replicator.R1"] <= (
+            sizing.replicator_capacities[0]
+        )
+        assert result.max_fills["replicator.R2"] <= (
+            sizing.replicator_capacities[1]
+        )
+        assert result.max_fills["selector.S"] <= sizing.selector_fifo_size
+
+    def test_monitor_factory_attached(self, app, sizing):
+        from repro.experiments.table3 import _monitor_factory
+        factory = _monitor_factory(app.minimized(), 1.0, 100.0)
+        result = run_duplicated(
+            app.minimized(), 10, seed=1, record_events=True,
+            monitor_factory=factory,
+        )
+        monitor = result.network.network.process("distance-monitor")
+        assert monitor.polls > 0

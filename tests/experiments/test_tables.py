@@ -1,0 +1,100 @@
+"""Tests for the table harnesses (small run counts for speed)."""
+
+import pytest
+
+from repro.apps import AdpcmApp
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+class TestTable1:
+    def test_rows_cover_all_apps(self):
+        rows = table1_rows()
+        assert [r["application"] for r in rows] == ["mjpeg", "adpcm",
+                                                    "h264"]
+
+    def test_render_contains_tuples(self):
+        text = render_table1()
+        assert "<30, 2, 30>" in text
+        assert "<6.3, 0.5, 6.3>" in text
+        assert "Table 1" in text
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(AdpcmApp(seed=11), runs=3, warmup_tokens=60,
+                      post_tokens=25)
+
+
+class TestTable2:
+    def test_structure(self, table2_result):
+        result = table2_result
+        assert result.app_name == "adpcm"
+        assert result.runs == 3
+        assert result.selector_latency.count == 3
+        assert result.replicator_latency.count == 3
+
+    def test_paper_shape_fills_within_capacity(self, table2_result):
+        result = table2_result
+        assert result.max_fill_r1 <= result.sizing.replicator_capacities[0]
+        assert result.max_fill_r2 <= result.sizing.replicator_capacities[1]
+        assert result.max_fill_selector <= result.sizing.selector_fifo_size
+
+    def test_paper_shape_latencies_within_bounds(self, table2_result):
+        assert table2_result.within_bounds
+        assert table2_result.detected_in_every_run
+
+    def test_paper_shape_equivalence(self, table2_result):
+        assert table2_result.outputs_equivalent
+        assert table2_result.consumer_stalls == 0
+
+    def test_paper_shape_interframe_match(self, table2_result):
+        ref = table2_result.reference_interframe
+        dup = table2_result.duplicated_interframe
+        assert dup.mean == pytest.approx(ref.mean, rel=0.02)
+
+    def test_render(self, table2_result):
+        text = render_table2(table2_result)
+        assert "Theoretical capacity" in text
+        assert "at selector" in text
+        assert "at replicator" in text
+        assert "Overhead" in text
+        assert "reference" in text and "duplicated" in text
+
+    def test_as_dict(self, table2_result):
+        data = table2_result.as_dict()
+        assert data["within_bounds"] is True
+        assert data["|R1|"] >= 1
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return run_table3(apps=[AdpcmApp(seed=11)], runs=3,
+                      warmup_tokens=50, post_tokens=20)
+
+
+class TestTable3:
+    def test_structure(self, table3_result):
+        assert len(table3_result.rows) == 1
+        row = table3_result.rows[0]
+        assert row.app_name == "adpcm"
+        assert row.ours.count == 3
+        assert row.baseline.count == 3
+
+    def test_paper_shape_no_false_positives(self, table3_result):
+        assert table3_result.rows[0].baseline_false_positives == 0
+
+    def test_paper_shape_detection_within_periods(self, table3_result):
+        row = table3_result.rows[0]
+        period = 6.3
+        assert row.ours.maximum < 4 * period
+        assert row.baseline.maximum < 4 * period
+
+    def test_baseline_needs_timers(self, table3_result):
+        assert table3_result.rows[0].baseline_timer_count == 4
+
+    def test_render(self, table3_result):
+        text = render_table3(table3_result)
+        assert "Table 3" in text
+        assert "adpcm" in text

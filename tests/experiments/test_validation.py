@@ -1,0 +1,92 @@
+"""Tests for runtime conformance validation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import run_duplicated
+from repro.experiments.validation import (
+    check_curve_conformance,
+    validate_run,
+)
+from repro.kpn.process import pjd_schedule
+from repro.rtc.pjd import PJD
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SyntheticApp(
+        producer=PJD(10.0, 1.0, 10.0),
+        replicas=[PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)],
+        seed=41,
+    )
+
+
+class TestCurveConformance:
+    def test_conforming_trace_clean(self):
+        model = PJD(10.0, 4.0, 10.0)
+        rng = np.random.default_rng(2)
+        times = pjd_schedule(model, 200, rng)
+        assert check_curve_conformance(times, model) == []
+
+    def test_bursty_trace_violates_tight_model(self):
+        declared = PJD(10.0, 0.0, 10.0)  # strictly periodic claim
+        actual = PJD(10.0, 18.0, 2.0)    # bursty reality
+        rng = np.random.default_rng(3)
+        times = pjd_schedule(actual, 200, rng)
+        violations = check_curve_conformance(times, declared)
+        assert violations
+        assert any(v.side == "upper" for v in violations)
+
+    def test_slow_trace_violates_lower(self):
+        declared = PJD(10.0, 0.0, 10.0)
+        times = [i * 30.0 for i in range(100)]  # 3x slower than claimed
+        violations = check_curve_conformance(times, declared)
+        assert any(v.side == "lower" for v in violations)
+
+    def test_short_trace_no_crash(self):
+        assert check_curve_conformance([1.0], PJD(10.0)) == []
+
+    def test_violation_description(self):
+        declared = PJD(10.0, 0.0, 10.0)
+        times = [0.0, 1.0, 2.0, 3.0]
+        violations = check_curve_conformance(times, declared)
+        assert violations
+        assert "window" in str(violations[0])
+
+
+class TestValidateRun:
+    def test_clean_run_validates(self, app):
+        sizing = app.sizing()
+        run = run_duplicated(app, 80, seed=1, sizing=sizing,
+                             record_events=True)
+        report = validate_run(app, run.network.network.recorder,
+                              sizing, run.detections)
+        assert report.ok, report.describe()
+        assert "passed" in report.describe()
+
+    def test_wrong_model_caught(self, app):
+        """Declare tighter models than reality: validation must object."""
+        sizing = app.sizing()
+        run = run_duplicated(app, 80, seed=1, sizing=sizing,
+                             record_events=True)
+        liar = SyntheticApp(
+            producer=PJD(10.0, 0.0, 10.0),
+            replicas=[PJD(10.0, 0.0, 10.0), PJD(10.0, 0.0, 10.0)],
+            seed=41,
+        )
+        report = validate_run(liar, run.network.network.recorder,
+                              sizing, run.detections)
+        assert not report.ok
+        assert report.conformance_violations
+        assert "FAILED" in report.describe()
+
+    def test_detections_fail_fault_free_validation(self, app):
+        sizing = app.sizing()
+        run = run_duplicated(app, 80, seed=1, sizing=sizing,
+                             record_events=True)
+        report = validate_run(app, run.network.network.recorder, sizing,
+                              detections=["synthetic detection"],
+                              fault_free=True)
+        assert not report.ok
+        assert report.unexpected_detections

@@ -1,0 +1,106 @@
+"""Tests for fault injection into duplicated networks."""
+
+import pytest
+
+from repro.core.duplicate import build_duplicated
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from tests.helpers import synthetic_blueprint, synthetic_sizing
+
+
+def run_with_fault(spec, tokens=60, seed=1, **dup_kwargs):
+    sizing = synthetic_sizing()
+    blueprint = synthetic_blueprint(
+        tokens, tokens + sizing.selector_priming, seed=seed
+    )
+    duplicated = build_duplicated(blueprint, sizing, **dup_kwargs)
+    sim = duplicated.network.instantiate()
+    injector = FaultInjector(spec)
+    injector.arm(sim, duplicated)
+    sim.run(max_events=200_000)
+    return duplicated, injector
+
+
+class TestFailStop:
+    def test_detected_at_both_sites(self):
+        spec = FaultSpec(replica=0, time=200.0, kind=FAIL_STOP)
+        duplicated, injector = run_with_fault(spec)
+        assert injector.detection_latency(duplicated, "selector") is not None
+        assert injector.detection_latency(duplicated,
+                                          "replicator") is not None
+
+    def test_latency_positive(self):
+        spec = FaultSpec(replica=0, time=200.0)
+        duplicated, injector = run_with_fault(spec)
+        assert injector.detection_latency(duplicated) > 0
+
+    def test_injected_at_recorded(self):
+        spec = FaultSpec(replica=1, time=123.0)
+        _, injector = run_with_fault(spec)
+        assert injector.injected_at == pytest.approx(123.0)
+
+    def test_correct_replica_flagged(self):
+        for replica in (0, 1):
+            spec = FaultSpec(replica=replica, time=200.0)
+            duplicated, _ = run_with_fault(spec)
+            flagged = {r.replica for r in duplicated.detection_log}
+            assert flagged == {replica}
+
+    def test_consumer_unaffected(self):
+        spec = FaultSpec(replica=0, time=200.0)
+        duplicated, _ = run_with_fault(spec)
+        assert duplicated.consumer.stalls == 0
+        expected = 60 + synthetic_sizing().selector_priming
+        assert len(duplicated.consumer.arrival_times) == expected
+
+    def test_output_stream_complete_and_correct(self):
+        spec = FaultSpec(replica=0, time=200.0)
+        duplicated, _ = run_with_fault(spec)
+        real = [t for t in duplicated.consumer.tokens if t.seqno > 0]
+        assert [t.seqno for t in real] == list(range(1, 61))
+        assert [t.value for t in real] == [i * 13 % 101 for i in range(60)]
+
+    def test_no_detection_without_fault_returns_none(self):
+        sizing = synthetic_sizing()
+        blueprint = synthetic_blueprint(10, 10 + sizing.selector_priming)
+        duplicated = build_duplicated(blueprint, sizing)
+        injector = FaultInjector(FaultSpec(replica=0, time=1e9))
+        sim = duplicated.network.instantiate()
+        injector.arm(sim, duplicated)
+        sim.run(until=500.0)
+        assert injector.detection_latency(duplicated) is None
+
+
+class TestRateDegrade:
+    def test_slowdown_applied_to_processes(self):
+        spec = FaultSpec(replica=0, time=100.0, kind=RATE_DEGRADE,
+                         slowdown=6.0)
+        duplicated, _ = run_with_fault(spec)
+        assert duplicated.replicas[0][0].slowdown == 6.0
+        assert duplicated.replicas[1][0].slowdown == 1.0
+
+    def test_degraded_replica_detected(self):
+        spec = FaultSpec(replica=0, time=100.0, kind=RATE_DEGRADE,
+                         slowdown=6.0)
+        duplicated, injector = run_with_fault(spec)
+        assert injector.detection_latency(duplicated) is not None
+
+    def test_detection_slower_than_fail_stop(self):
+        stop = FaultSpec(replica=0, time=100.0, kind=FAIL_STOP)
+        degrade = FaultSpec(replica=0, time=100.0, kind=RATE_DEGRADE,
+                            slowdown=2.0)
+        _, injector_stop = run_with_fault(stop)
+        dup_stop, injector_deg = None, None
+        dup_deg, injector_deg = run_with_fault(degrade)
+        dup_stop, injector_stop2 = run_with_fault(stop)
+        lat_stop = injector_stop2.detection_latency(dup_stop)
+        lat_deg = injector_deg.detection_latency(dup_deg)
+        # A limping replica still delivers tokens, so evidence accumulates
+        # more slowly than for a dead one.
+        assert lat_deg >= lat_stop
+
+    def test_consumer_survives_degradation(self):
+        spec = FaultSpec(replica=1, time=100.0, kind=RATE_DEGRADE,
+                         slowdown=8.0)
+        duplicated, _ = run_with_fault(spec)
+        assert duplicated.consumer.stalls == 0

@@ -1,0 +1,96 @@
+"""Tests for fault-scenario sweeps."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE
+from repro.faults.scenarios import phase_sweep, scenario_matrix
+from repro.rtc.pjd import PJD
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SyntheticApp(
+        producer=PJD(10.0, 1.0, 10.0),
+        replicas=[PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)],
+        seed=17,
+    )
+
+
+class TestPhaseSweep:
+    def test_all_phases_detected(self, app):
+        points = phase_sweep(app, [0.0, 0.25, 0.5, 0.75],
+                             warmup_tokens=50, post_tokens=30)
+        assert len(points) == 4
+        for point in points:
+            assert point.selector_latency is not None
+            assert point.replicator_latency is not None
+            assert point.selector_latency > 0
+
+    def test_latencies_within_bounds(self, app):
+        sizing = app.sizing()
+        points = phase_sweep(app, [0.1, 0.6, 0.9],
+                             warmup_tokens=50, post_tokens=30)
+        for point in points:
+            assert point.selector_latency <= (
+                sizing.selector_detection_bound
+            )
+            assert point.replicator_latency <= (
+                sizing.replicator_detection_bound
+            )
+
+    def test_phase_changes_latency(self, app):
+        points = phase_sweep(app, [0.05, 0.55],
+                             warmup_tokens=50, post_tokens=30)
+        # Different injection phases see different token alignments.
+        assert (points[0].selector_latency
+                != points[1].selector_latency)
+
+    def test_invalid_phase_rejected(self, app):
+        with pytest.raises(ValueError):
+            phase_sweep(app, [1.5], warmup_tokens=10, post_tokens=10)
+
+
+class TestScenarioMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, app):
+        return scenario_matrix(app, warmup_tokens=50, post_tokens=50)
+
+    def test_full_coverage(self, matrix):
+        combos = {(r.replica, r.kind) for r in matrix}
+        assert combos == {
+            (0, FAIL_STOP), (0, RATE_DEGRADE),
+            (1, FAIL_STOP), (1, RATE_DEGRADE),
+        }
+
+    def test_every_scenario_detected(self, matrix):
+        assert all(r.detected for r in matrix)
+
+    def test_consumer_never_stalls(self, matrix):
+        assert all(r.consumer_stalls == 0 for r in matrix)
+
+    def test_degradation_slower_than_fail_stop(self, matrix):
+        by_combo = {(r.replica, r.kind): r for r in matrix}
+        for replica in (0, 1):
+            stop = by_combo[(replica, FAIL_STOP)].latency
+            degrade = by_combo[(replica, RATE_DEGRADE)].latency
+            assert degrade >= stop
+
+    def test_first_site_recorded(self, matrix):
+        assert all(r.first_site in ("selector", "replicator")
+                   for r in matrix)
+
+
+class TestScenarioMatrixOnMediaApps:
+    """The coverage matrix holds on the real applications too."""
+
+    @pytest.mark.parametrize("app_cls", ["mjpeg", "adpcm"])
+    def test_media_app_full_coverage(self, app_cls):
+        from repro.apps import AdpcmApp, MjpegDecoderApp
+        app = {"mjpeg": MjpegDecoderApp, "adpcm": AdpcmApp}[app_cls](
+            seed=19
+        )
+        matrix = scenario_matrix(app, warmup_tokens=40, post_tokens=50,
+                                 slowdown=5.0)
+        assert all(r.detected for r in matrix)
+        assert all(r.consumer_stalls == 0 for r in matrix)

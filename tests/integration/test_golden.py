@@ -1,0 +1,67 @@
+"""Golden regression values.
+
+Pinned outputs of fixed-seed runs.  Any change to the event engine, the
+channel rules, the PJD schedule generator or the applications that
+shifts observable behaviour — even by a floating-point hair — fails
+here, forcing the change to be a conscious one (update the constants in
+the same commit that justifies the behavioural change).
+"""
+
+import pytest
+
+from repro.apps import AdpcmApp, MjpegDecoderApp
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.faults.models import FAIL_STOP, FaultSpec
+
+
+class TestGoldenAdpcm:
+    @pytest.fixture(scope="class")
+    def run(self):
+        app = AdpcmApp(seed=77)
+        sizing = app.sizing()
+        fault = FaultSpec(replica=1,
+                          time=fault_time_for(app, 50, phase=0.37),
+                          kind=FAIL_STOP)
+        return run_duplicated(app, 80, seed=4, fault=fault,
+                              sizing=sizing)
+
+    def test_detection_latencies(self, run):
+        assert run.detection_latency("selector") == pytest.approx(
+            10.515558508379627, abs=1e-9
+        )
+        assert run.detection_latency("replicator") == pytest.approx(
+            23.11722947799319, abs=1e-9
+        )
+
+    def test_event_and_token_counts(self, run):
+        assert run.events == 904
+        assert len(run.values) == 83
+
+    def test_fills(self, run):
+        assert run.max_fills["replicator.R1"] == 1
+        assert run.max_fills["replicator.R2"] == 3
+        assert run.max_fills["selector.S"] == 3
+
+
+class TestGoldenMjpeg:
+    @pytest.fixture(scope="class")
+    def run(self):
+        app = MjpegDecoderApp(seed=77)
+        sizing = app.sizing()
+        fault = FaultSpec(replica=0,
+                          time=fault_time_for(app, 30, phase=0.61),
+                          kind=FAIL_STOP)
+        return run_duplicated(app, 50, seed=4, fault=fault,
+                              sizing=sizing)
+
+    def test_detection_latencies(self, run):
+        assert run.detection_latency("selector") == pytest.approx(
+            72.54623256524599, abs=1e-9
+        )
+        assert run.detection_latency("replicator") == pytest.approx(
+            72.59481796469504, abs=1e-9
+        )
+
+    def test_inter_arrival_mean(self, run):
+        mean = sum(run.inter_arrival) / len(run.inter_arrival)
+        assert mean == pytest.approx(30.01544604991382, abs=1e-9)

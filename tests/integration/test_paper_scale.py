@@ -1,0 +1,48 @@
+"""Paper-scale experiment (opt-in; ~minutes of host time).
+
+The paper injects faults "after 18,000 frames" (MJPEG) and "after 20,000
+samples" (ADPCM).  The default experiment scale uses a shorter warmup
+because the warmup carries no information (the network is in steady
+state after a handful of tokens); this opt-in test runs the ADPCM
+experiment at the paper's full token count to demonstrate the claim.
+
+Run with:  pytest tests/integration/test_paper_scale.py -m paper_scale
+"""
+
+import pytest
+
+from repro.apps import AdpcmApp
+from repro.experiments.runner import (
+    fault_time_for,
+    run_duplicated,
+)
+from repro.faults.models import FAIL_STOP, FaultSpec
+
+pytestmark = pytest.mark.paper_scale
+
+
+class TestPaperScaleAdpcm:
+    def test_fault_after_20000_samples(self):
+        app = AdpcmApp(seed=99)
+        sizing = app.sizing()
+        warmup = 20_000
+        fault = FaultSpec(
+            replica=0,
+            time=fault_time_for(app, warmup, phase=0.4),
+            kind=FAIL_STOP,
+        )
+        run = run_duplicated(app, warmup + 50, seed=1, fault=fault,
+                             sizing=sizing)
+        assert run.detection_latency("selector") is not None
+        assert run.detection_latency("selector") <= (
+            sizing.selector_detection_bound
+        )
+        assert run.stalls == 0
+        assert len(run.values) == warmup + 50 + sizing.selector_priming
+        # Fills stayed within capacity across the entire 20k warmup.
+        assert run.max_fills["replicator.R1"] <= (
+            sizing.replicator_capacities[0]
+        )
+        assert run.max_fills["replicator.R2"] <= (
+            sizing.replicator_capacities[1]
+        )

@@ -1,0 +1,94 @@
+"""Integration of the SCC communication model with the framework.
+
+The paper runs everything on the SCC with iRCCE/MPB communication and
+notes the fast on-chip communication "does not significantly influence
+FIFO sizes or fault detection timings" — verified here by running the
+same duplicated network with and without the SCC latency model.
+"""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.core.duplicate import NetworkBlueprint, build_duplicated
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.faults.models import FaultSpec
+from repro.rtc.pjd import PJD
+from repro.scc.chip import SccChip
+from repro.scc.mapping import Mapping
+from repro.scc.rcce import RcceComm
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SyntheticApp(
+        producer=PJD(10.0, 1.0, 10.0),
+        replicas=[PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)],
+        seed=5,
+    )
+
+
+def run_on_scc(app, tokens, seed, fault=None):
+    """Run the duplicated network with MPB latencies on every channel."""
+    chip = SccChip()
+    chip.boot(seed=seed)
+    mapping = Mapping(
+        assignment={"P": 0, "R1": 10, "R2": 26, "C": 40}
+    )
+    comm = RcceComm(chip, mapping)
+    sizing = app.sizing()
+    blueprint = app.blueprint(tokens, tokens + sizing.selector_priming,
+                              seed=seed)
+    # All framework channels share one representative on-die route.
+    blueprint = NetworkBlueprint(
+        name=blueprint.name,
+        make_producer=blueprint.make_producer,
+        make_critical=blueprint.make_critical,
+        make_consumer=blueprint.make_consumer,
+        transfer_latency=comm.fixed_latency(0, 26),
+        make_priming=blueprint.make_priming,
+    )
+    duplicated = build_duplicated(blueprint, sizing)
+    sim = duplicated.network.instantiate()
+    injector = None
+    if fault is not None:
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(fault)
+        injector.arm(sim, duplicated)
+    sim.run(max_events=200_000)
+    return duplicated, injector, comm
+
+
+class TestSccIntegration:
+    def test_tokens_flow_with_mpb_latency(self, app):
+        duplicated, _, comm = run_on_scc(app, 40, seed=1)
+        expected = 40 + app.sizing().selector_priming
+        assert len(duplicated.consumer.arrival_times) == expected
+        assert comm.messages_sent > 0
+        assert duplicated.consumer.stalls == 0
+
+    def test_no_false_positives_with_latency(self, app):
+        duplicated, _, _ = run_on_scc(app, 60, seed=2)
+        assert len(duplicated.detection_log) == 0
+
+    def test_fills_unchanged_by_fast_communication(self, app):
+        sizing = app.sizing()
+        plain = run_duplicated(app, 60, seed=3, sizing=sizing)
+        on_scc, _, _ = run_on_scc(app, 60, seed=3)
+        scc_fills = on_scc.network.max_fills()
+        for name, fill in plain.max_fills.items():
+            assert abs(scc_fills[name] - fill) <= 1
+
+    def test_detection_still_within_bounds(self, app):
+        sizing = app.sizing()
+        fault = FaultSpec(replica=0, time=fault_time_for(app, 30))
+        duplicated, injector, _ = run_on_scc(app, 60, seed=4, fault=fault)
+        latency = injector.detection_latency(duplicated, "selector")
+        assert latency is not None
+        assert latency <= sizing.selector_detection_bound
+
+    def test_values_identical_with_and_without_latency(self, app):
+        sizing = app.sizing()
+        plain = run_duplicated(app, 30, seed=5, sizing=sizing)
+        on_scc, _, _ = run_on_scc(app, 30, seed=5)
+        scc_values = [t.value for t in on_scc.consumer.tokens]
+        assert scc_values == plain.values

@@ -1,0 +1,123 @@
+"""Integration tests for Theorem 2 (functional + timing equivalence).
+
+The theorem: given the same input sequence, the duplicated network
+produces the same output token sequence as the reference network, with
+timestamps still acceptable to the consumer — fault-free AND under a
+single timing fault of either replica.
+"""
+
+import pytest
+
+from repro.core.equivalence import check_equivalence
+from repro.experiments.runner import (
+    fault_time_for,
+    run_duplicated,
+    run_reference,
+)
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.apps.synthetic import SyntheticApp
+from repro.rtc.pjd import PJD
+
+TOKENS = 120
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SyntheticApp(
+        producer=PJD(10.0, 1.0, 10.0),
+        replicas=[PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)],
+        consumer=PJD(10.0, 1.0, 10.0),
+        seed=21,
+    )
+
+
+@pytest.fixture(scope="module")
+def sizing(app):
+    return app.sizing()
+
+
+@pytest.fixture(scope="module")
+def reference(app, sizing):
+    return run_reference(app, TOKENS, seed=9, sizing=sizing)
+
+
+class TestFaultFree:
+    def test_equivalence(self, app, sizing, reference):
+        duplicated = run_duplicated(app, TOKENS, seed=9, sizing=sizing,
+                                    verify_duplicates=True)
+        report = check_equivalence(
+            reference.values, duplicated.values,
+            reference.times, duplicated.times,
+            reference.stalls, duplicated.stalls,
+        )
+        assert report.equivalent
+        assert report.values_equal
+        assert report.prefix_length == len(reference.values)
+
+    def test_consumer_never_stalls(self, app, sizing):
+        duplicated = run_duplicated(app, TOKENS, seed=9, sizing=sizing)
+        assert duplicated.stalls == 0
+
+
+class TestSingleFault:
+    @pytest.mark.parametrize("replica", [0, 1])
+    def test_fail_stop_equivalence(self, app, sizing, reference, replica):
+        fault = FaultSpec(replica=replica,
+                          time=fault_time_for(app, 40, phase=0.3),
+                          kind=FAIL_STOP)
+        duplicated = run_duplicated(app, TOKENS, seed=9, fault=fault,
+                                    sizing=sizing)
+        report = check_equivalence(
+            reference.values, duplicated.values,
+            reference.times, duplicated.times,
+            reference.stalls, duplicated.stalls,
+        )
+        assert report.equivalent
+        assert len(duplicated.values) == len(reference.values)
+        assert duplicated.stalls == 0
+
+    @pytest.mark.parametrize("replica", [0, 1])
+    def test_rate_degrade_equivalence(self, app, sizing, reference,
+                                      replica):
+        fault = FaultSpec(replica=replica,
+                          time=fault_time_for(app, 40, phase=0.3),
+                          kind=RATE_DEGRADE, slowdown=5.0)
+        duplicated = run_duplicated(app, TOKENS, seed=9, fault=fault,
+                                    sizing=sizing)
+        report = check_equivalence(
+            reference.values, duplicated.values,
+            reference.times, duplicated.times,
+            reference.stalls, duplicated.stalls,
+        )
+        assert report.equivalent
+        assert duplicated.stalls == 0
+
+    def test_fault_at_time_zero(self, app, sizing, reference):
+        """The harshest case: one replica dead from the very start."""
+        fault = FaultSpec(replica=1, time=0.0, kind=FAIL_STOP)
+        duplicated = run_duplicated(app, TOKENS, seed=9, fault=fault,
+                                    sizing=sizing)
+        assert duplicated.values == reference.values
+        assert duplicated.stalls == 0
+
+    def test_detection_before_consumer_impact(self, app, sizing):
+        """Detection must happen; the consumer must never notice."""
+        fault = FaultSpec(replica=0,
+                          time=fault_time_for(app, 40, phase=0.5))
+        duplicated = run_duplicated(app, TOKENS, seed=9, fault=fault,
+                                    sizing=sizing)
+        assert duplicated.detections
+        assert duplicated.stalls == 0
+
+    def test_detection_latencies_within_bounds(self, app, sizing):
+        for seed in range(3):
+            fault = FaultSpec(
+                replica=seed % 2,
+                time=fault_time_for(app, 40, phase=0.2 + 0.3 * seed),
+            )
+            duplicated = run_duplicated(app, TOKENS, seed=seed,
+                                        fault=fault, sizing=sizing)
+            selector_latency = duplicated.detection_latency("selector")
+            replicator_latency = duplicated.detection_latency("replicator")
+            assert selector_latency <= sizing.selector_detection_bound
+            assert replicator_latency <= sizing.replicator_detection_bound

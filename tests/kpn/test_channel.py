@@ -1,0 +1,148 @@
+"""Tests for the bounded FIFO channel."""
+
+import pytest
+
+from repro.kpn.channel import Fifo
+from repro.kpn.errors import ProtocolError
+from repro.kpn.operations import Delay, Read, Write
+from repro.kpn.process import Process
+from repro.kpn.simulator import Simulator
+from repro.kpn.tokens import Token
+from repro.kpn.trace import ChannelTrace
+
+
+def tok(value, seqno=1, size=0):
+    return Token(value=value, seqno=seqno, stamp=0.0, size_bytes=size)
+
+
+class Writer(Process):
+    def __init__(self, name, endpoint, tokens, gap=0.0):
+        super().__init__(name)
+        self.endpoint = endpoint
+        self.tokens = tokens
+        self.gap = gap
+        self.commit_times = []
+
+    def behavior(self):
+        for token in self.tokens:
+            if self.gap:
+                yield Delay(self.gap)
+            yield Write(self.endpoint, token)
+            self.commit_times.append(self.now)
+
+
+class Reader(Process):
+    def __init__(self, name, endpoint, count, gap=0.0):
+        super().__init__(name)
+        self.endpoint = endpoint
+        self.count = count
+        self.gap = gap
+        self.received = []
+
+    def behavior(self):
+        for _ in range(self.count):
+            if self.gap:
+                yield Delay(self.gap)
+            token = yield Read(self.endpoint)
+            self.received.append((self.now, token))
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo("f", 0)
+
+    def test_rejects_excess_initial_tokens(self):
+        with pytest.raises(ValueError):
+            Fifo("f", 1, initial_tokens=(tok(1), tok(2)))
+
+    def test_initial_tokens_fill(self):
+        fifo = Fifo("f", 3, initial_tokens=(tok("a"), tok("b")))
+        assert fifo.fill == 2
+        assert fifo.space == 1
+
+    def test_bad_interface_indices(self):
+        fifo = Fifo("f", 1)
+        with pytest.raises(ProtocolError):
+            fifo.poll_read(1, 0.0)
+        with pytest.raises(ProtocolError):
+            fifo.poll_write(1, tok(1), 0.0)
+
+
+class TestFifoSemantics:
+    def test_order_preserved(self):
+        sim = Simulator()
+        fifo = Fifo("f", 4)
+        fifo.bind(sim)
+        writer = Writer("w", fifo.writer, [tok(i, i) for i in range(1, 6)])
+        reader = Reader("r", fifo.reader, 5)
+        sim.register_all([writer, reader])
+        sim.run()
+        assert [t.value for _, t in reader.received] == [1, 2, 3, 4, 5]
+
+    def test_writer_blocks_on_full(self):
+        sim = Simulator()
+        fifo = Fifo("f", 1)
+        fifo.bind(sim)
+        writer = Writer("w", fifo.writer, [tok(i, i) for i in range(3)])
+        reader = Reader("r", fifo.reader, 3, gap=10.0)
+        sim.register_all([writer, reader])
+        sim.run()
+        # Writes 2 and 3 must wait for reads at t = 10 and t = 20.
+        assert writer.commit_times[0] == 0.0
+        assert writer.commit_times[1] >= 10.0
+        assert writer.commit_times[2] >= 20.0
+
+    def test_reader_blocks_on_empty(self):
+        sim = Simulator()
+        fifo = Fifo("f", 4)
+        fifo.bind(sim)
+        writer = Writer("w", fifo.writer, [tok(1, 1)], gap=7.0)
+        reader = Reader("r", fifo.reader, 1)
+        sim.register_all([writer, reader])
+        sim.run()
+        assert reader.received[0][0] == 7.0
+
+    def test_transfer_latency_delays_visibility(self):
+        sim = Simulator()
+        fifo = Fifo("f", 4, transfer_latency=lambda token: 2.5)
+        fifo.bind(sim)
+        writer = Writer("w", fifo.writer, [tok(1, 1)])
+        reader = Reader("r", fifo.reader, 1)
+        sim.register_all([writer, reader])
+        sim.run()
+        assert reader.received[0][0] == pytest.approx(2.5)
+
+    def test_space_reserved_during_flight(self):
+        fifo = Fifo("f", 1, transfer_latency=lambda token: 100.0)
+        status, _ = fifo.poll_write(0, tok(1, 1), 0.0)
+        assert status == "ok"
+        status, _ = fifo.poll_write(0, tok(2, 2), 0.0)
+        assert status == "full"
+
+    def test_wait_status_reports_ready_time(self):
+        fifo = Fifo("f", 2, transfer_latency=lambda token: 5.0)
+        fifo.poll_write(0, tok(1, 1), 0.0)
+        status, ready = fifo.poll_read(0, 1.0)
+        assert status == "wait"
+        assert ready == pytest.approx(5.0)
+
+    def test_trace_records_fill(self):
+        trace = ChannelTrace("f")
+        fifo = Fifo("f", 4, trace=trace)
+        fifo.poll_write(0, tok(1, 1), 0.0)
+        fifo.poll_write(0, tok(2, 2), 1.0)
+        fifo.poll_read(0, 2.0)
+        assert trace.max_fill == 2
+        assert trace.fill == 1
+        assert trace.writes == 2
+        assert trace.reads == 1
+
+    def test_peek_ready_time(self):
+        fifo = Fifo("f", 2)
+        assert fifo.peek_ready_time() is None
+        fifo.poll_write(0, tok(1, 1), 3.0)
+        assert fifo.peek_ready_time() == pytest.approx(3.0)
+
+    def test_repr(self):
+        assert "f" in repr(Fifo("f", 2))

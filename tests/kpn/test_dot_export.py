@@ -1,0 +1,55 @@
+"""Tests for the Graphviz export."""
+
+from repro.kpn.network import Network
+from repro.kpn.process import PeriodicSource, RecordingSink
+from repro.rtc.pjd import PJD
+
+
+class TestToDot:
+    def _network(self):
+        net = Network("demo")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 3, seed=1))
+        snk = net.add_process(RecordingSink("snk"))
+        fifo = net.add_fifo("pipe", 4)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        return net
+
+    def test_valid_digraph(self):
+        dot = self._network().to_dot()
+        assert dot.startswith('digraph "demo" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_nodes_and_edges_present(self):
+        dot = self._network().to_dot()
+        assert '"src" [shape=box];' in dot
+        assert '"pipe" [shape=ellipse' in dot
+        assert '"src" -> "pipe";' in dot
+        assert '"pipe" -> "snk";' in dot
+
+    def test_multiport_edges(self):
+        from repro.apps.processes import SplitStream
+        net = Network("fan")
+        split = net.add_process(SplitStream("split", 2))
+        head = net.add_fifo("head", 2)
+        a = net.add_fifo("a", 2)
+        b = net.add_fifo("b", 2)
+        split.input = head.reader
+        split.outputs[0] = a.writer
+        split.outputs[1] = b.writer
+        dot = net.to_dot()
+        assert '"split" -> "a";' in dot
+        assert '"split" -> "b";' in dot
+        assert '"head" -> "split";' in dot
+
+    def test_duplicated_network_exports(self):
+        from tests.helpers import synthetic_blueprint, synthetic_sizing
+        from repro.core.duplicate import build_duplicated
+        sizing = synthetic_sizing()
+        duplicated = build_duplicated(
+            synthetic_blueprint(5, 5 + sizing.selector_priming), sizing
+        )
+        dot = duplicated.network.to_dot()
+        assert '"replicator"' in dot
+        assert '"selector"' in dot
+        assert '"R1/stage"' in dot and '"R2/stage"' in dot

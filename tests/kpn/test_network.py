@@ -1,0 +1,57 @@
+"""Tests for the network container."""
+
+import pytest
+
+from repro.kpn.errors import ProtocolError
+from repro.kpn.network import Network
+from repro.kpn.process import PeriodicSource, RecordingSink
+from repro.rtc.pjd import PJD
+
+
+def small_network():
+    net = Network("n")
+    src = net.add_process(PeriodicSource("src", PJD(10.0), 3, seed=1))
+    snk = net.add_process(RecordingSink("snk"))
+    fifo = net.add_fifo("f", 4)
+    src.output = fifo.writer
+    snk.input = fifo.reader
+    return net, src, snk
+
+
+class TestNetwork:
+    def test_duplicate_process_rejected(self):
+        net = Network("n")
+        net.add_process(RecordingSink("x"))
+        with pytest.raises(ProtocolError):
+            net.add_process(RecordingSink("x"))
+
+    def test_duplicate_channel_rejected(self):
+        net = Network("n")
+        net.add_fifo("f", 1)
+        with pytest.raises(ProtocolError):
+            net.add_fifo("f", 2)
+
+    def test_validate_catches_unconnected(self):
+        net = Network("n")
+        net.add_process(RecordingSink("snk"))
+        with pytest.raises(ProtocolError):
+            net.validate()
+
+    def test_run_to_quiescence(self):
+        net, _src, snk = small_network()
+        sim, stats = net.run()
+        assert len(snk.records) == 3
+        assert stats.events > 0
+
+    def test_max_fills_reported(self):
+        net, _src, _snk = small_network()
+        net.run()
+        assert "f" in net.max_fills()
+
+    def test_process_lookup(self):
+        net, src, _snk = small_network()
+        assert net.process("src") is src
+
+    def test_repr(self):
+        net, _, _ = small_network()
+        assert "n" in repr(net)

@@ -1,0 +1,272 @@
+"""Tests for the standard process shapes."""
+
+import numpy as np
+import pytest
+
+from repro.kpn.channel import Fifo
+from repro.kpn.errors import ProtocolError
+from repro.kpn.network import Network
+from repro.kpn.process import (
+    FunctionProcess,
+    PacedRelay,
+    PeriodicConsumer,
+    PeriodicSource,
+    RecordingSink,
+    pjd_schedule,
+)
+from repro.kpn.simulator import Simulator
+from repro.rtc.calibration import sliding_window_counts
+from repro.rtc.pjd import PJD
+
+
+class TestPjdSchedule:
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        assert len(pjd_schedule(PJD(10.0), 7, rng)) == 7
+
+    def test_zero_jitter_is_periodic(self):
+        rng = np.random.default_rng(0)
+        times = pjd_schedule(PJD(10.0), 5, rng)
+        assert times == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_min_distance_respected(self):
+        rng = np.random.default_rng(42)
+        model = PJD(10.0, 9.0, 10.0)
+        times = pjd_schedule(model, 200, rng)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= model.min_distance - 1e-9
+
+    def test_conforms_to_arrival_curves(self):
+        model = PJD(10.0, 6.0, 10.0)
+        rng = np.random.default_rng(3)
+        times = pjd_schedule(model, 300, rng)
+        upper, lower = model.curves()
+        for window in [5.0, 10.0, 17.0, 31.0, 95.0]:
+            max_count, min_count = sliding_window_counts(times, window)
+            assert max_count <= upper(window)
+            assert min_count >= lower(window)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            pjd_schedule(PJD(10.0), -1, np.random.default_rng(0))
+
+    def test_start_offset(self):
+        rng = np.random.default_rng(0)
+        times = pjd_schedule(PJD(10.0), 3, rng, start=100.0)
+        assert times[0] == 100.0
+
+
+def build_source_sink(source_timing, count, sink=None, capacity=64):
+    net = Network("t")
+    src = net.add_process(PeriodicSource("src", source_timing, count, seed=1))
+    snk = net.add_process(sink or RecordingSink("snk"))
+    fifo = net.add_fifo("f", capacity)
+    src.output = fifo.writer
+    snk.input = fifo.reader
+    return net, src, snk
+
+
+class TestPeriodicSource:
+    def test_produces_count_tokens(self):
+        net, _src, snk = build_source_sink(PJD(10.0, 2.0, 10.0), 20)
+        net.run()
+        assert len(snk.records) == 20
+
+    def test_seqnos_one_based_increasing(self):
+        net, _src, snk = build_source_sink(PJD(10.0), 5)
+        net.run()
+        assert [t.seqno for _, t in snk.records] == [1, 2, 3, 4, 5]
+
+    def test_payload_function(self):
+        net = Network("t")
+        src = net.add_process(
+            PeriodicSource("src", PJD(10.0), 3,
+                           payload=lambda i: (i * i, 100), seed=1)
+        )
+        snk = net.add_process(RecordingSink("snk"))
+        fifo = net.add_fifo("f", 8)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert snk.values() == [0, 1, 4]
+        assert snk.records[0][1].size_bytes == 100
+
+    def test_unconnected_output_raises(self):
+        sim = Simulator()
+        sim.register(PeriodicSource("src", PJD(10.0), 1))
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_blocked_writes_counted(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(1.0, 0.0, 1.0), 10, seed=1))
+        snk = net.add_process(PeriodicConsumer("snk", PJD(10.0), 10, seed=2))
+        fifo = net.add_fifo("f", 1)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert src.blocked_writes > 0
+
+
+class TestPeriodicConsumer:
+    def test_records_arrivals_and_interarrivals(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 10, seed=1))
+        snk = net.add_process(PeriodicConsumer("snk", PJD(10.0), 10, seed=2))
+        fifo = net.add_fifo("f", 4)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert len(snk.arrival_times) == 10
+        gaps = snk.inter_arrival_times()
+        assert len(gaps) == 9
+        assert all(g == pytest.approx(10.0, abs=1e-3) for g in gaps)
+
+    def test_stall_accounting(self):
+        net = Network("t")
+        # Source slower than the consumer demands -> stalls.
+        src = net.add_process(PeriodicSource("src", PJD(20.0), 5, seed=1))
+        snk = net.add_process(PeriodicConsumer("snk", PJD(10.0), 5, seed=2))
+        fifo = net.add_fifo("f", 4)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert snk.stalls > 0
+        assert snk.total_stall_time > 0
+
+    def test_keep_values_false(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 3, seed=1))
+        snk = net.add_process(
+            PeriodicConsumer("snk", PJD(10.0), 3, seed=2, keep_values=False)
+        )
+        fifo = net.add_fifo("f", 4)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert snk.tokens == []
+        assert len(snk.arrival_times) == 3
+
+
+class TestFunctionProcess:
+    def _pipeline(self, worker):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 5, seed=1))
+        snk = net.add_process(RecordingSink("snk"))
+        net.add_process(worker)
+        fin = net.add_fifo("fin", 4)
+        fout = net.add_fifo("fout", 4)
+        src.output = fin.writer
+        worker.input = fin.reader
+        worker.output = fout.writer
+        snk.input = fout.reader
+        return net, snk
+
+    def test_transforms_values(self):
+        worker = FunctionProcess("w", transform=lambda v: v * 10)
+        net, snk = self._pipeline(worker)
+        net.run()
+        assert snk.values() == [0, 10, 20, 30, 40]
+
+    def test_constant_service_delays(self):
+        worker = FunctionProcess("w", transform=lambda v: v, service=3.0)
+        net, snk = self._pipeline(worker)
+        net.run()
+        assert snk.times()[0] == pytest.approx(3.0)
+
+    def test_slowdown_scales_service(self):
+        worker = FunctionProcess("w", transform=lambda v: v, service=3.0)
+        worker.slowdown = 2.0
+        net, snk = self._pipeline(worker)
+        net.run()
+        assert snk.times()[0] == pytest.approx(6.0)
+
+    def test_seqno_aware_transform(self):
+        worker = FunctionProcess(
+            "w", transform=lambda v, seqno: seqno, takes_seqno=True
+        )
+        net, snk = self._pipeline(worker)
+        net.run()
+        assert snk.values() == [1, 2, 3, 4, 5]
+
+    def test_out_size(self):
+        worker = FunctionProcess(
+            "w", transform=lambda v: v, out_size=lambda v: 777
+        )
+        net, snk = self._pipeline(worker)
+        net.run()
+        assert snk.records[0][1].size_bytes == 777
+
+    def test_processed_counter(self):
+        worker = FunctionProcess("w", transform=lambda v: v)
+        net, _snk = self._pipeline(worker)
+        net.run()
+        assert worker.processed == 5
+
+
+class TestPacedRelay:
+    def test_paces_to_model(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(5.0), 10, seed=1))
+        relay = net.add_process(PacedRelay("relay", PJD(10.0), seed=3))
+        snk = net.add_process(RecordingSink("snk"))
+        fin = net.add_fifo("fin", 16)
+        fout = net.add_fifo("fout", 16)
+        src.output = fin.writer
+        relay.input = fin.reader
+        relay.output = fout.writer
+        snk.input = fout.reader
+        net.run()
+        gaps = [b - a for a, b in
+                zip(relay.release_times, relay.release_times[1:])]
+        assert all(g >= 10.0 - 1e-9 for g in gaps)
+
+    def test_transform_applied(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 3, seed=1))
+        relay = net.add_process(
+            PacedRelay("relay", PJD(10.0), transform=lambda v: v + 100)
+        )
+        snk = net.add_process(RecordingSink("snk"))
+        fin = net.add_fifo("fin", 8)
+        fout = net.add_fifo("fout", 8)
+        src.output = fin.writer
+        relay.input = fin.reader
+        relay.output = fout.writer
+        snk.input = fout.reader
+        net.run()
+        assert snk.values() == [100, 101, 102]
+
+    def test_slowdown_stretches_pacing(self):
+        def run(slow):
+            net = Network("t")
+            src = net.add_process(PeriodicSource("src", PJD(5.0), 6, seed=1))
+            relay = net.add_process(PacedRelay("relay", PJD(10.0), seed=3))
+            relay.slowdown = slow
+            snk = net.add_process(RecordingSink("snk"))
+            fin = net.add_fifo("fin", 16)
+            fout = net.add_fifo("fout", 16)
+            src.output = fin.writer
+            relay.input = fin.reader
+            relay.output = fout.writer
+            snk.input = fout.reader
+            net.run()
+            return relay.release_times[-1]
+
+        assert run(3.0) > run(1.0) * 2
+
+
+class TestRecordingSink:
+    def test_limit(self):
+        net = Network("t")
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 10, seed=1))
+        snk = net.add_process(RecordingSink("snk", limit=4))
+        fifo = net.add_fifo("f", 16)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        net.run()
+        assert len(snk.records) == 4
+
+    def test_now_outside_sim_raises(self):
+        with pytest.raises(ProtocolError):
+            RecordingSink("snk").now

@@ -1,0 +1,164 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.kpn.errors import ProtocolError, SimulationError
+from repro.kpn.operations import Delay, Halt, Read, Write
+from repro.kpn.process import Process
+from repro.kpn.simulator import ProcessState, Simulator
+
+
+class Ticker(Process):
+    """Delays `step` repeatedly, recording wake times."""
+
+    def __init__(self, name, step, count):
+        super().__init__(name)
+        self.step = step
+        self.count = count
+        self.wakes = []
+
+    def behavior(self):
+        for _ in range(self.count):
+            yield Delay(self.step)
+            self.wakes.append(self.now)
+
+
+class Halter(Process):
+    def behavior(self):
+        yield Delay(1.0)
+        yield Halt()
+        yield Delay(100.0)  # must never run
+
+
+class BadOpProcess(Process):
+    def behavior(self):
+        yield "not-an-operation"
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_delay_advances_time(self):
+        sim = Simulator()
+        ticker = Ticker("t", 2.5, 4)
+        sim.register(ticker)
+        stats = sim.run()
+        assert ticker.wakes == [2.5, 5.0, 7.5, 10.0]
+        assert stats.end_time == 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_tie_breaking_is_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        ticker = Ticker("t", 1.0, 100)
+        sim.register(ticker)
+        stats = sim.run(until=10.0)
+        assert stats.end_time <= 10.0
+        assert len(ticker.wakes) == 10
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 100))
+        stats = sim.run(max_events=5)
+        assert stats.halted_on_limit is True
+        assert stats.events == 5
+
+    def test_step_by_step(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 2))
+        steps = 0
+        while sim.step():
+            steps += 1
+        assert steps >= 3  # start + two delays
+
+    def test_event_count_accumulates(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 3))
+        sim.run()
+        assert sim.event_count >= 4
+
+
+class TestProcessLifecycle:
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        sim.register(Ticker("same", 1.0, 1))
+        with pytest.raises(ProtocolError):
+            sim.register(Ticker("same", 1.0, 1))
+
+    def test_done_after_exhaustion(self):
+        sim = Simulator()
+        handle = sim.register(Ticker("t", 1.0, 1))
+        sim.run()
+        assert handle.state is ProcessState.DONE
+        assert not handle.alive
+
+    def test_halt_terminates(self):
+        sim = Simulator()
+        halter = Halter("h")
+        handle = sim.register(halter)
+        stats = sim.run()
+        assert handle.state is ProcessState.DONE
+        assert stats.end_time == 1.0
+
+    def test_kill_prevents_further_execution(self):
+        sim = Simulator()
+        ticker = Ticker("t", 1.0, 100)
+        sim.register(ticker)
+        sim.schedule(5.5, lambda: sim.kill("t"))
+        sim.run()
+        assert len(ticker.wakes) == 5
+
+    def test_kill_done_process_is_noop(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 1))
+        sim.run()
+        sim.kill("t")  # must not raise
+
+    def test_unknown_operation_raises(self):
+        sim = Simulator()
+        sim.register(BadOpProcess("bad"))
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+    def test_live_processes_listing(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 2))
+        assert sim.live_processes() == ["t"]
+        sim.run()
+        assert sim.live_processes() == []
+
+    def test_handle_lookup(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 1))
+        assert sim.handle("t").name == "t"
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            tickers = [Ticker(f"t{i}", 1.0 + i * 0.1, 20) for i in range(5)]
+            sim.register_all(tickers)
+            sim.run()
+            return [tuple(t.wakes) for t in tickers]
+
+        assert run_once() == run_once()

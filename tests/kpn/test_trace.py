@@ -1,0 +1,76 @@
+"""Tests for channel tracing."""
+
+from repro.kpn.trace import ChannelTrace, TraceRecorder
+
+
+class TestChannelTrace:
+    def test_fill_tracking(self):
+        trace = ChannelTrace("c")
+        trace.on_write(0.0, 1)
+        trace.on_write(1.0, 2)
+        trace.on_read(2.0, 1)
+        trace.on_write(3.0, 3)
+        assert trace.fill == 2
+        assert trace.max_fill == 2
+        assert trace.writes == 3
+        assert trace.reads == 1
+
+    def test_preset_fill(self):
+        trace = ChannelTrace("c")
+        trace.preset_fill(3)
+        assert trace.fill == 3
+        assert trace.max_fill == 3
+
+    def test_events_disabled_by_default(self):
+        trace = ChannelTrace("c")
+        trace.on_write(0.0, 1)
+        assert trace.events == []
+
+    def test_events_recorded_when_enabled(self):
+        trace = ChannelTrace("c", record_events=True)
+        trace.on_write(0.0, 1, interface=0)
+        trace.on_read(1.0, 1)
+        trace.on_drop(2.0, 2, interface=1)
+        assert [e.kind for e in trace.events] == ["write", "read", "drop"]
+        assert trace.drops == 1
+
+    def test_time_filters(self):
+        trace = ChannelTrace("c", record_events=True)
+        trace.on_write(0.0, 1, interface=0)
+        trace.on_write(1.0, 1, interface=1)
+        trace.on_read(2.0, 1)
+        assert trace.write_times() == [0.0, 1.0]
+        assert trace.write_times(interface=1) == [1.0]
+        assert trace.read_times() == [2.0]
+
+
+class TestTraceRecorder:
+    def test_channel_creation_and_reuse(self):
+        recorder = TraceRecorder()
+        a = recorder.channel("x")
+        b = recorder.channel("x")
+        assert a is b
+        assert "x" in recorder
+
+    def test_max_fills(self):
+        recorder = TraceRecorder()
+        recorder.channel("a").on_write(0.0, 1)
+        recorder.channel("b")
+        assert recorder.max_fills() == {"a": 1, "b": 0}
+
+    def test_record_events_propagates(self):
+        recorder = TraceRecorder(record_events=True)
+        trace = recorder.channel("x")
+        trace.on_write(0.0, 1)
+        assert len(trace.events) == 1
+
+    def test_names_sorted(self):
+        recorder = TraceRecorder()
+        recorder.channel("b")
+        recorder.channel("a")
+        assert recorder.names() == ["a", "b"]
+
+    def test_getitem(self):
+        recorder = TraceRecorder()
+        trace = recorder.channel("z")
+        assert recorder["z"] is trace

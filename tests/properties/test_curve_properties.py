@@ -1,0 +1,82 @@
+"""Property-based tests of the arrival-curve layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtc.curves import infimum_crossing, supremum_difference
+from repro.rtc.pjd import PJD
+
+pjd_models = st.builds(
+    PJD,
+    period=st.floats(min_value=0.5, max_value=100.0,
+                     allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=200.0,
+                     allow_nan=False, allow_infinity=False),
+    min_distance=st.just(0.0),
+)
+
+# Zero or comfortably above the curves' internal float tolerance (1e-9);
+# windows inside the tolerance band are not meaningful inputs.
+windows = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=500.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@given(pjd_models, windows)
+def test_lower_never_exceeds_upper(model, delta):
+    assert model.lower()(delta) <= model.upper()(delta)
+
+
+@given(pjd_models, windows, windows)
+def test_curves_wide_sense_increasing(model, a, b):
+    low, high = sorted((a, b))
+    assert model.upper()(low) <= model.upper()(high)
+    assert model.lower()(low) <= model.lower()(high)
+
+
+@given(pjd_models)
+def test_zero_window_zero_events(model):
+    assert model.upper()(0.0) == 0.0
+    assert model.lower()(0.0) == 0.0
+
+
+@given(pjd_models, windows, windows)
+def test_upper_subadditive(model, a, b):
+    """alpha_u(a + b) <= alpha_u(a) + alpha_u(b) — the defining property
+    of a valid upper arrival curve."""
+    upper = model.upper()
+    assert upper(a + b) <= upper(a) + upper(b) + 1e-9
+
+
+@given(pjd_models, windows, windows)
+def test_lower_superadditive(model, a, b):
+    """alpha_l(a + b) >= alpha_l(a) + alpha_l(b)."""
+    lower = model.lower()
+    assert lower(a + b) >= lower(a) + lower(b) - 1e-9
+
+
+@settings(max_examples=40)
+@given(pjd_models, pjd_models)
+def test_supremum_difference_nonnegative_when_bounded(a, b):
+    # Same long-run rate guarantees boundedness: reuse a's period.
+    b = PJD(a.period, b.jitter, 0.0)
+    sup = supremum_difference(a.upper(), b.lower())
+    assert sup >= 0.0
+    # The supremum dominates a dense sample of the difference.
+    for k in range(1, 20):
+        delta = k * a.period / 3.0
+        assert a.upper()(delta) - b.lower()(delta) <= sup + 1e-9
+
+
+@settings(max_examples=40)
+@given(pjd_models, st.integers(min_value=1, max_value=20))
+def test_infimum_crossing_is_a_crossing(model, level):
+    delta = infimum_crossing(model.lower(), level)
+    lower = model.lower()
+    assert lower(delta) >= level
+    # Just before the crossing the level is not yet reached (up to the
+    # solver's breakpoint tolerance).
+    if delta > 1e-3:
+        assert lower(delta - 1e-3) <= level

@@ -1,0 +1,98 @@
+"""Property-based tests of the replicator's duplication invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.replicator import ReplicatorChannel
+from repro.kpn.tokens import Token
+
+
+@st.composite
+def interleavings(draw):
+    """Steps: 0 = producer writes, 1 = replica 1 reads, 2 = replica 2
+    reads (blocked operations are skipped, as a parked process would
+    wait)."""
+    length = draw(st.integers(min_value=1, max_value=50))
+    return draw(
+        st.lists(st.integers(min_value=0, max_value=2),
+                 min_size=length, max_size=length)
+    )
+
+
+def drive(replicator, steps):
+    next_seq = 1
+    received = ([], [])
+    now = 0.0
+    for step in steps:
+        now += 1.0
+        if step == 0:
+            token = Token(value=next_seq, seqno=next_seq, stamp=now)
+            status, _ = replicator.poll_write(0, token, now)
+            if status == "ok":
+                next_seq += 1
+        else:
+            index = step - 1
+            status, token = replicator.poll_read(index, now)
+            if status == "ok":
+                received[index].append(token.seqno)
+    return received
+
+
+@settings(max_examples=120)
+@given(interleavings())
+def test_each_replica_sees_prefix_in_order(steps):
+    replicator = ReplicatorChannel("r", capacities=(3, 3),
+                                   strict_single_fault=False)
+    received = drive(replicator, steps)
+    for sequence in received:
+        assert sequence == list(range(1, len(sequence) + 1))
+
+
+@settings(max_examples=120)
+@given(interleavings())
+def test_fill_conservation_per_queue(steps):
+    replicator = ReplicatorChannel("r", capacities=(3, 3),
+                                   strict_single_fault=False)
+    received = drive(replicator, steps)
+    for k in (0, 1):
+        if replicator.fault[k]:
+            continue
+        assert replicator.fill(k) == replicator.writes - len(received[k])
+        assert 0 <= replicator.fill(k) <= replicator.capacities[k]
+
+
+@settings(max_examples=120)
+@given(interleavings())
+def test_fault_flag_iff_queue_was_full_at_write(steps):
+    """Overflow detection soundness: a flagged replica really had a full
+    queue while the other side kept moving."""
+    replicator = ReplicatorChannel("r", capacities=(2, 4),
+                                   strict_single_fault=False)
+    received = drive(replicator, steps)
+    if replicator.fault[0]:
+        # At flag time queue 0 held its full capacity; it is never
+        # written again, so its fill stays at capacity minus any reads
+        # the (supposedly dead but here adversarial) reader still did.
+        report = replicator.log.first(replica=0)
+        assert report is not None
+        assert report.mechanism == "overflow"
+    if not any(replicator.fault):
+        assert len(replicator.log) == 0
+
+
+@settings(max_examples=100)
+@given(interleavings(), st.integers(min_value=1, max_value=6))
+def test_divergence_flag_implies_true_lag(steps, threshold):
+    replicator = ReplicatorChannel("r", capacities=(50, 50),
+                                   divergence_threshold=threshold,
+                                   strict_single_fault=False)
+    received = drive(replicator, steps)
+    for k in (0, 1):
+        report = replicator.log.first(replica=k)
+        if report is None or report.mechanism != "divergence":
+            continue
+        # The detail records the counters at flag time: "reads=a/b D=t".
+        counts = report.detail.split()[0].split("=")[1]
+        reads_0, reads_1 = (int(v) for v in counts.split("/"))
+        lag = (reads_0 - reads_1) if k == 1 else (reads_1 - reads_0)
+        assert lag > threshold

@@ -1,0 +1,62 @@
+"""Property: generated schedules conform to their PJD models (the link
+between the generative simulation and the analytic sizing — if this
+breaks, Table 2's 'observed fill <= theoretical capacity' is meaningless).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kpn.process import pjd_schedule
+from repro.rtc.calibration import sliding_window_counts
+from repro.rtc.pjd import PJD
+
+
+@st.composite
+def model_and_seed(draw):
+    period = draw(st.floats(min_value=1.0, max_value=50.0))
+    jitter = draw(st.floats(min_value=0.0, max_value=100.0))
+    with_distance = draw(st.booleans())
+    min_distance = period if with_distance else 0.0
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return PJD(period, jitter, min_distance), seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(model_and_seed())
+def test_schedule_conforms_to_model_curves(case):
+    model, seed = case
+    rng = np.random.default_rng(seed)
+    times = pjd_schedule(model, 120, rng)
+    upper, lower = model.curves()
+    for factor in (0.5, 1.0, 2.5, 7.0):
+        window = model.period * factor
+        max_count, min_count = sliding_window_counts(times, window)
+        assert max_count <= upper(window), (
+            f"window {window}: {max_count} > {upper(window)}"
+        )
+        assert min_count >= lower(window), (
+            f"window {window}: {min_count} < {lower(window)}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(model_and_seed())
+def test_schedule_monotone_nonnegative(case):
+    model, seed = case
+    rng = np.random.default_rng(seed)
+    times = pjd_schedule(model, 80, rng)
+    assert all(t >= 0.0 for t in times)
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    if model.min_distance > 0:
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= model.min_distance - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(model_and_seed())
+def test_schedule_deterministic_per_seed(case):
+    model, seed = case
+    a = pjd_schedule(model, 50, np.random.default_rng(seed))
+    b = pjd_schedule(model, 50, np.random.default_rng(seed))
+    assert a == b

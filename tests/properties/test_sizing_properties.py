@@ -1,0 +1,83 @@
+"""Property-based tests of the design-time analysis (monotonicity and
+soundness relations between Eqs. 3-8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import (
+    detection_latency_bound_fail_stop,
+    divergence_threshold,
+    fifo_capacity,
+    initial_fill,
+)
+
+periods = st.floats(min_value=1.0, max_value=50.0)
+jitters = st.floats(min_value=0.0, max_value=60.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters, jitters)
+def test_capacity_monotone_in_consumer_jitter(period, j_small, j_large):
+    j_small, j_large = sorted((j_small, j_large))
+    producer = PJD(period, 1.0, period).upper()
+    tight = fifo_capacity(producer, PJD(period, j_small, 0.0).lower())
+    loose = fifo_capacity(producer, PJD(period, j_large, 0.0).lower())
+    assert loose >= tight
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters, jitters)
+def test_capacity_monotone_in_producer_jitter(period, j_small, j_large):
+    j_small, j_large = sorted((j_small, j_large))
+    consumer = PJD(period, 1.0, 0.0).lower()
+    tight = fifo_capacity(PJD(period, j_small, 0.0).upper(), consumer)
+    loose = fifo_capacity(PJD(period, j_large, 0.0).upper(), consumer)
+    assert loose >= tight
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters, jitters)
+def test_threshold_monotone_in_replica_jitter(period, j_small, j_large):
+    j_small, j_large = sorted((j_small, j_large))
+    base = PJD(period, 1.0, 0.0)
+    tight = divergence_threshold(
+        [base.upper(), PJD(period, j_small, 0.0).upper()],
+        [base.lower(), PJD(period, j_small, 0.0).lower()],
+    )
+    loose = divergence_threshold(
+        [base.upper(), PJD(period, j_large, 0.0).upper()],
+        [base.lower(), PJD(period, j_large, 0.0).lower()],
+    )
+    assert loose >= tight
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters, st.integers(min_value=1, max_value=8))
+def test_bound_monotone_in_threshold(period, jitter, threshold):
+    curve = PJD(period, jitter, 0.0).lower()
+    smaller = detection_latency_bound_fail_stop([curve], threshold)
+    larger = detection_latency_bound_fail_stop([curve], threshold + 1)
+    assert larger >= smaller
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters, st.integers(min_value=1, max_value=8))
+def test_bound_at_least_required_tokens_times_period(period, jitter,
+                                                     threshold):
+    """Eq. 8 needs 2D - 1 tokens from the slowest stream: the bound can
+    never be shorter than that many periods."""
+    curve = PJD(period, jitter, 0.0).lower()
+    bound = detection_latency_bound_fail_stop([curve], threshold)
+    assert bound >= (2 * threshold - 1) * period - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods, jitters)
+def test_initial_fill_covers_first_demand(period, jitter):
+    """Eq. 4 soundness at delta -> 0+: the consumer's first read must be
+    coverable by the pre-fill alone."""
+    consumer = PJD(period, 1.0, period)
+    replica = PJD(period, jitter, 0.0)
+    fill = initial_fill(consumer.upper(), replica.lower())
+    assert fill >= 1

@@ -1,0 +1,99 @@
+"""Tests for trace calibration (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.rtc.calibration import empirical_curves, fit_pjd, sliding_window_counts
+from repro.rtc.pjd import PJD
+from repro.kpn.process import pjd_schedule
+
+
+class TestSlidingWindowCounts:
+    def test_empty_trace(self):
+        assert sliding_window_counts([], 5.0) == (0, 0)
+
+    def test_single_event(self):
+        assert sliding_window_counts([3.0], 5.0) == (1, 0)
+
+    def test_periodic_trace(self):
+        times = [0.0, 10.0, 20.0, 30.0, 40.0]
+        max_count, min_count = sliding_window_counts(times, 10.5)
+        assert max_count == 2
+        assert min_count >= 1
+
+    def test_small_window_min_zero(self):
+        times = [0.0, 10.0, 20.0, 30.0]
+        _max_count, min_count = sliding_window_counts(times, 5.0)
+        assert min_count == 0
+
+    def test_window_covering_all(self):
+        times = [0.0, 1.0, 2.0]
+        max_count, _ = sliding_window_counts(times, 100.0)
+        assert max_count == 3
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_counts([0.0, 1.0], 0.0)
+
+    def test_burst(self):
+        times = [0.0, 0.1, 0.2, 50.0]
+        max_count, _ = sliding_window_counts(times, 1.0)
+        assert max_count == 3
+
+
+class TestEmpiricalCurves:
+    def test_requires_two_events(self):
+        with pytest.raises(ValueError):
+            empirical_curves([1.0])
+
+    def test_periodic_trace_curves(self):
+        times = [i * 10.0 for i in range(50)]
+        upper, lower = empirical_curves(times, max_window=100.0)
+        assert upper(10.5) >= 2
+        assert lower(9.0) <= 1
+        assert upper(0.0) == 0.0
+
+    def test_upper_dominates_lower(self):
+        rng = np.random.default_rng(3)
+        times = sorted(rng.uniform(0, 500, 60))
+        upper, lower = empirical_curves(times, max_window=120.0)
+        for delta in [1.0, 10.0, 40.0, 100.0]:
+            assert upper(delta) >= lower(delta)
+
+
+class TestFitPjd:
+    def test_requires_two_events(self):
+        with pytest.raises(ValueError):
+            fit_pjd([5.0])
+
+    def test_exact_periodic(self):
+        times = [i * 7.0 for i in range(30)]
+        model = fit_pjd(times)
+        assert model.period == pytest.approx(7.0)
+        assert model.jitter == pytest.approx(0.0, abs=1e-9)
+        assert model.min_distance == pytest.approx(7.0)
+
+    def test_fitted_model_encloses_generated_trace(self):
+        """Round trip: schedule from a PJD, fit, check enclosure."""
+        source = PJD(10.0, 4.0, 10.0)
+        rng = np.random.default_rng(11)
+        times = pjd_schedule(source, 200, rng)
+        fitted = fit_pjd(times)
+        upper, lower = fitted.curves()
+        # Every observed sliding-window count must respect the fitted pair.
+        for window in [5.0, 10.0, 15.0, 33.0, 97.0]:
+            max_count, min_count = sliding_window_counts(times, window)
+            assert max_count <= upper(window) + 1e-9
+            assert min_count >= lower(window) - 1e-9
+
+    def test_fitted_jitter_close_to_true(self):
+        source = PJD(10.0, 4.0, 0.0)
+        rng = np.random.default_rng(7)
+        times = pjd_schedule(source, 500, rng)
+        fitted = fit_pjd(times)
+        assert fitted.period == pytest.approx(10.0, rel=0.02)
+        # The endpoint-based period estimate drifts by O(1/N); over N
+        # events that drift inflates the fitted jitter envelope, so allow
+        # the accumulated slack on top of the true jitter.
+        drift = abs(fitted.period - source.period) * len(times)
+        assert fitted.jitter <= source.jitter + drift + 0.5

@@ -1,0 +1,189 @@
+"""Tests for curve primitives and the sup/inf solvers."""
+
+import math
+
+import pytest
+
+from repro.rtc.curves import (
+    CurveError,
+    DerivedCurve,
+    PiecewiseConstantCurve,
+    ZeroCurve,
+    infimum_crossing,
+    supremum_difference,
+)
+from repro.rtc.pjd import PJD
+
+
+class TestZeroCurve:
+    def test_always_zero(self):
+        curve = ZeroCurve()
+        assert curve(0.0) == 0.0
+        assert curve(1e9) == 0.0
+
+    def test_rate_zero(self):
+        assert ZeroCurve().long_run_rate() == 0.0
+
+
+class TestPiecewiseConstantCurve:
+    def test_step_lookup(self):
+        curve = PiecewiseConstantCurve([(0.0, 0.0), (5.0, 2.0), (9.0, 3.0)])
+        assert curve(0.0) == 0.0
+        assert curve(4.9) == 0.0
+        assert curve(5.0) == 2.0
+        assert curve(8.0) == 2.0
+        assert curve(9.0) == 3.0
+        assert curve(100.0) == 3.0
+
+    def test_linear_tail(self):
+        curve = PiecewiseConstantCurve([(0.0, 0.0), (10.0, 1.0)],
+                                       tail_rate=0.1)
+        assert curve(20.0) == pytest.approx(2.0)
+        assert curve(110.0) == pytest.approx(11.0)
+
+    def test_tail_rounding_floor(self):
+        curve = PiecewiseConstantCurve(
+            [(0.0, 0.0), (10.0, 1.0)], tail_rate=0.1, tail_round="floor"
+        )
+        assert curve(25.0) == pytest.approx(2.0)  # floor(1.5) + 1
+
+    def test_tail_rounding_ceil(self):
+        curve = PiecewiseConstantCurve(
+            [(0.0, 0.0), (10.0, 1.0)], tail_rate=0.1, tail_round="ceil"
+        )
+        assert curve(25.0) == pytest.approx(3.0)  # ceil(1.5) + 1
+
+    def test_rejects_empty_steps(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantCurve([])
+
+    def test_rejects_decreasing_positions(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantCurve([(0.0, 0.0), (5.0, 1.0), (3.0, 2.0)])
+
+    def test_rejects_decreasing_values(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantCurve([(0.0, 2.0), (5.0, 1.0)])
+
+    def test_rejects_bad_tail_round(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantCurve([(0.0, 0.0)], tail_round="nearest")
+
+    def test_steps_property_is_copy(self):
+        curve = PiecewiseConstantCurve([(0.0, 0.0), (1.0, 1.0)])
+        steps = curve.steps
+        steps.append((9.0, 9.0))
+        assert len(curve.steps) == 2
+
+
+class TestComposition:
+    def test_add(self):
+        a = PJD(10.0).upper()
+        b = PJD(5.0).upper()
+        combined = a.add(b)
+        assert combined(12.0) == a(12.0) + b(12.0)
+
+    def test_operator_add(self):
+        a = PJD(10.0).upper()
+        combined = a + a
+        assert combined(15.0) == 2 * a(15.0)
+
+    def test_scale(self):
+        a = PJD(10.0).upper()
+        assert a.scale(3.0)(25.0) == 3 * a(25.0)
+        assert (2 * a)(25.0) == 2 * a(25.0)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PJD(10.0).upper().scale(-1.0)
+
+    def test_min_max(self):
+        a = PJD(10.0).upper()
+        b = PJD(7.0).upper()
+        assert a.min_with(b)(20.0) == min(a(20.0), b(20.0))
+        assert a.max_with(b)(20.0) == max(a(20.0), b(20.0))
+
+    def test_shift(self):
+        a = PJD(10.0).upper()
+        shifted = a.shift(5.0)
+        assert shifted(4.0) == a(0.0)
+        assert shifted(15.0) == a(10.0)
+
+    def test_shift_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PJD(10.0).upper().shift(-1.0)
+
+    def test_offset_preserves_zero(self):
+        a = PJD(10.0).upper().offset(3.0)
+        assert a(0.0) == 0.0
+        assert a(10.5) == PJD(10.0).upper()(10.5) + 3.0
+
+
+class TestSupremumDifference:
+    def test_equal_curves_zero(self):
+        curve = PJD(10.0, 2.0, 10.0).upper()
+        assert supremum_difference(curve, curve) == 0.0
+
+    def test_paper_mjpeg_r2_backlog(self):
+        # Producer <30,2,30> against replica-2 consumption <30,30,30>:
+        # the paper's |R_2| = 3 comes from this supremum.
+        producer = PJD(30.0, 2.0, 30.0).upper()
+        replica = PJD(30.0, 30.0, 30.0).lower()
+        assert supremum_difference(producer, replica) == 3.0
+
+    def test_unbounded_raises(self):
+        fast = PJD(5.0).upper()
+        slow = PJD(10.0).lower()
+        with pytest.raises(CurveError):
+            supremum_difference(fast, slow)
+
+    def test_unbounded_returns_inf_when_allowed(self):
+        fast = PJD(5.0).upper()
+        slow = PJD(10.0).lower()
+        result = supremum_difference(fast, slow, require_bounded=False)
+        assert math.isinf(result)
+
+    def test_against_zero_curve(self):
+        curve = PJD(10.0, 4.0, 10.0).lower()
+        # sup(0 - lower) = 0 since both start at 0.
+        assert supremum_difference(ZeroCurve(), curve) == 0.0
+
+
+class TestInfimumCrossing:
+    def test_zero_level(self):
+        assert infimum_crossing(PJD(10.0).lower(), 0) == 0.0
+
+    def test_periodic_lower(self):
+        lower = PJD(10.0).lower()
+        assert infimum_crossing(lower, 3) == pytest.approx(30.0)
+
+    def test_jittered_lower(self):
+        lower = PJD(30.0, 30.0, 30.0).lower()
+        # floor((d - 30)/30) >= 5  =>  d = 180 (the paper's MJPEG bound).
+        assert infimum_crossing(lower, 5) == pytest.approx(180.0)
+
+    def test_never_reaches_returns_inf(self):
+        assert math.isinf(infimum_crossing(ZeroCurve(), 1))
+
+    def test_horizon_too_small_raises(self):
+        lower = PJD(10.0).lower()
+        with pytest.raises(CurveError):
+            infimum_crossing(lower, 100, horizon=50.0)
+
+
+class TestDerivedCurve:
+    def test_breakpoints_union(self):
+        a = PJD(10.0).upper()
+        b = PJD(7.0).upper()
+        combined = a.add(b)
+        points = set(combined.breakpoints(30.0))
+        for p in a.breakpoints(30.0):
+            assert p in points
+        for p in b.breakpoints(30.0):
+            assert p in points
+
+    def test_suggested_horizon_covers_children(self):
+        a = PJD(100.0).upper()
+        b = PJD(1.0).upper()
+        combined = a.add(b)
+        assert combined.suggested_horizon() >= a.suggested_horizon()

@@ -1,0 +1,81 @@
+"""Tests for the min-plus / max-plus operators."""
+
+import pytest
+
+from repro.rtc.minplus import (
+    max_plus_convolution,
+    min_plus_convolution,
+    min_plus_deconvolution,
+)
+from repro.rtc.pjd import PJD
+
+
+class TestMinPlusConvolution:
+    def test_idempotent_on_subadditive(self):
+        # An arrival curve is subadditive, so f (x) f == f on the grid.
+        curve = PJD(10.0, 0.0, 10.0).upper()
+        conv = min_plus_convolution(curve, curve, horizon=100.0)
+        for delta in [0.0, 5.0, 10.5, 30.5, 75.0]:
+            assert conv(delta) <= curve(delta) + 1e-9
+
+    def test_dominated_by_both_operands_plus_other_at_zero(self):
+        a = PJD(10.0, 5.0, 10.0).upper()
+        b = PJD(12.0, 2.0, 12.0).upper()
+        conv = min_plus_convolution(a, b, horizon=80.0)
+        for delta in [1.0, 11.0, 23.0, 47.0]:
+            # (f (x) g)(d) <= f(0) + g(d) = g(d) and <= f(d).
+            assert conv(delta) <= a(delta) + 1e-9
+            assert conv(delta) <= b(delta) + 1e-9
+
+    def test_commutative_on_grid(self):
+        a = PJD(10.0, 5.0, 10.0).upper()
+        b = PJD(7.0, 1.0, 7.0).upper()
+        ab = min_plus_convolution(a, b, horizon=60.0)
+        ba = min_plus_convolution(b, a, horizon=60.0)
+        for delta in [0.0, 3.0, 7.5, 21.0, 49.0]:
+            assert ab(delta) == pytest.approx(ba(delta))
+
+    def test_tail_rate_is_min(self):
+        a = PJD(10.0).upper()
+        b = PJD(5.0).upper()
+        conv = min_plus_convolution(a, b, horizon=50.0)
+        assert conv.long_run_rate() == pytest.approx(0.1)
+
+
+class TestMinPlusDeconvolution:
+    def test_identity_service(self):
+        # Deconvolving by a curve that dominates leaves a bounded result.
+        arrival = PJD(10.0, 2.0, 10.0).upper()
+        service = PJD(10.0, 0.0, 10.0).lower()
+        out = min_plus_deconvolution(arrival, service, horizon=100.0)
+        # Output bound must dominate the input bound (service adds slack).
+        for delta in [5.0, 15.0, 35.0]:
+            assert out(delta) >= arrival(delta) - 1e-9
+
+    def test_unbounded_raises(self):
+        fast = PJD(5.0).upper()
+        slow = PJD(10.0).lower()
+        with pytest.raises(ValueError):
+            min_plus_deconvolution(fast, slow, horizon=50.0)
+
+    def test_result_nonnegative(self):
+        arrival = PJD(10.0, 0.0, 10.0).upper()
+        service = PJD(9.0, 0.0, 9.0).lower()
+        out = min_plus_deconvolution(arrival, service, horizon=90.0)
+        for delta in [0.0, 4.0, 18.0]:
+            assert out(delta) >= 0.0
+
+
+class TestMaxPlusConvolution:
+    def test_dominates_operands(self):
+        a = PJD(10.0, 0.0, 10.0).lower()
+        b = PJD(10.0, 5.0, 10.0).lower()
+        conv = max_plus_convolution(a, b, horizon=100.0)
+        for delta in [10.0, 25.0, 60.0]:
+            assert conv(delta) >= a(delta) - 1e-9
+            assert conv(delta) >= b(delta) - 1e-9
+
+    def test_zero_at_origin(self):
+        a = PJD(10.0).lower()
+        conv = max_plus_convolution(a, a, horizon=50.0)
+        assert conv(0.0) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the assembled chip model."""
+
+import pytest
+
+from repro.scc.chip import SccChip, SccConfig
+
+
+class TestSccChip:
+    def test_paper_boot_parameters(self):
+        chip = SccChip()
+        assert chip.config.tile_frequency_hz == 533e6
+        assert chip.config.router_frequency_hz == 800e6
+        assert chip.config.memory_frequency_hz == 800e6
+        assert chip.config.l2_enabled is False
+        assert chip.config.interrupts_enabled is False
+
+    def test_counts(self):
+        chip = SccChip()
+        assert len(chip.tiles()) == 24
+        assert len(chip.cores()) == 48
+
+    def test_boot_creates_synced_clocks(self):
+        chip = SccChip()
+        assert not chip.booted
+        offsets = chip.boot(seed=1)
+        assert chip.booted
+        assert len(offsets) == 48
+        clock = chip.clocks[17]
+        instant = 50.0
+        assert clock.to_global_ms(clock.read(instant)) == pytest.approx(
+            instant, abs=0.01
+        )
+
+    def test_boot_deterministic(self):
+        a = SccChip().boot(seed=9)
+        b = SccChip().boot(seed=9)
+        assert a == b
+
+    def test_transfer_between_cores(self):
+        chip = SccChip()
+        same_tile = chip.transfer_time_ms(3072, 0, 1)
+        across = chip.transfer_time_ms(3072, 0, 47)
+        assert same_tile < across
+
+    def test_repr_mentions_state(self):
+        chip = SccChip()
+        assert "cold" in repr(chip)
+        chip.boot()
+        assert "booted" in repr(chip)

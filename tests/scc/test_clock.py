@@ -1,0 +1,71 @@
+"""Tests for TSC clocks and boot synchronisation."""
+
+import pytest
+
+from repro.scc.clock import ClockDomain, TscClock, synchronize
+
+
+class TestClockDomain:
+    def test_cycles_and_back(self):
+        domain = ClockDomain("tile", 533e6)
+        assert domain.cycles(1.0) == 533_000
+        assert domain.milliseconds(533_000) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("x", 0.0)
+
+
+class TestTscClock:
+    def test_zero_before_boot(self):
+        clock = TscClock(0, 500e6, boot_offset_ms=10.0)
+        assert clock.read(5.0) == 0
+
+    def test_ticks_after_boot(self):
+        clock = TscClock(0, 500e6, boot_offset_ms=10.0)
+        # 1 ms after boot at 500 MHz = 500k ticks.
+        assert clock.read(11.0) == 500_000
+
+    def test_drift_changes_effective_rate(self):
+        nominal = TscClock(0, 500e6)
+        drifted = TscClock(1, 500e6, drift_ppm=100.0)
+        assert drifted.read(1000.0) > nominal.read(1000.0)
+
+    def test_unsynchronized_conversion_raises(self):
+        clock = TscClock(0, 500e6)
+        with pytest.raises(RuntimeError):
+            clock.to_global_ms(12345)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            TscClock(0, -1.0)
+
+
+class TestSynchronize:
+    def test_offsets_recovered(self):
+        clocks = [
+            TscClock(i, 533e6, boot_offset_ms=i * 0.5) for i in range(4)
+        ]
+        synchronize(clocks, sync_time_ms=5.0)
+        for clock in clocks:
+            assert clock.calibrated
+            # Round trip at the sync instant is exact.
+            assert clock.to_global_ms(clock.read(5.0)) == pytest.approx(5.0)
+
+    def test_agreement_within_drift(self):
+        clocks = [
+            TscClock(i, 533e6, boot_offset_ms=i * 0.3,
+                     drift_ppm=(-1) ** i * 2.0)
+            for i in range(6)
+        ]
+        synchronize(clocks, sync_time_ms=2.0)
+        instant = 1000.0
+        estimates = [c.to_global_ms(c.read(instant)) for c in clocks]
+        spread = max(estimates) - min(estimates)
+        # 2 ppm over ~1 s is about 2 us per clock; the spread stays in
+        # the low-microsecond range.
+        assert spread < 0.01
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            synchronize([])

@@ -1,0 +1,57 @@
+"""Tests for SCC die geometry."""
+
+import pytest
+
+from repro.scc.geometry import TOPOLOGY, Core, Tile, Topology
+
+
+class TestTopology:
+    def test_scc_dimensions(self):
+        assert TOPOLOGY.tile_count == 24
+        assert TOPOLOGY.core_count == 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TOPOLOGY.validate_tile(24)
+        with pytest.raises(ValueError):
+            TOPOLOGY.validate_core(48)
+        TOPOLOGY.validate_tile(0)
+        TOPOLOGY.validate_core(47)
+
+
+class TestTile:
+    def test_coordinates(self):
+        assert Tile(0).coordinates == (0, 0)
+        assert Tile(5).coordinates == (5, 0)
+        assert Tile(6).coordinates == (0, 1)
+        assert Tile(23).coordinates == (5, 3)
+
+    def test_cores_of_tile(self):
+        cores = Tile(3).cores()
+        assert [c.core_id for c in cores] == [6, 7]
+
+    def test_manhattan_distance(self):
+        assert Tile(0).manhattan_distance(Tile(23)) == 8
+        assert Tile(7).manhattan_distance(Tile(7)) == 0
+
+    def test_invalid_tile(self):
+        with pytest.raises(ValueError):
+            Tile(24)
+
+
+class TestCore:
+    def test_tile_of_core(self):
+        assert Core(0).tile.tile_id == 0
+        assert Core(1).tile.tile_id == 0
+        assert Core(47).tile.tile_id == 23
+
+    def test_local_index(self):
+        assert Core(10).local_index == 0
+        assert Core(11).local_index == 1
+
+    def test_int_conversion(self):
+        assert int(Core(13)) == 13
+
+    def test_invalid_core(self):
+        with pytest.raises(ValueError):
+            Core(48)

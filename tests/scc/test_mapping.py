@@ -1,0 +1,74 @@
+"""Tests for low-contention process mapping."""
+
+import pytest
+
+from repro.scc.mapping import Mapping, low_contention_mapping, route_overlap
+
+
+PROCESSES = ["P", "split", "d0", "d1", "d2", "merge", "C"]
+CHANNELS = [
+    ("P", "split"),
+    ("split", "d0"),
+    ("split", "d1"),
+    ("split", "d2"),
+    ("d0", "merge"),
+    ("d1", "merge"),
+    ("d2", "merge"),
+    ("merge", "C"),
+]
+
+
+class TestLowContentionMapping:
+    def test_one_process_per_tile(self):
+        mapping = low_contention_mapping(PROCESSES, CHANNELS)
+        tiles = mapping.used_tiles()
+        assert len(tiles) == len(PROCESSES)
+        assert len(set(tiles)) == len(PROCESSES)
+
+    def test_all_processes_mapped(self):
+        mapping = low_contention_mapping(PROCESSES, CHANNELS)
+        for process in PROCESSES:
+            assert process in mapping
+
+    def test_deterministic(self):
+        a = low_contention_mapping(PROCESSES, CHANNELS)
+        b = low_contention_mapping(PROCESSES, CHANNELS)
+        assert a.assignment == b.assignment
+
+    def test_overlap_better_than_naive(self):
+        greedy = low_contention_mapping(PROCESSES, CHANNELS)
+        naive = Mapping(
+            assignment={p: i * 2 for i, p in enumerate(PROCESSES)}
+        )
+        assert route_overlap(greedy, CHANNELS) <= route_overlap(
+            naive, CHANNELS
+        )
+
+    def test_too_many_processes_rejected(self):
+        processes = [f"p{i}" for i in range(25)]
+        with pytest.raises(ValueError):
+            low_contention_mapping(processes, [])
+
+    def test_mjpeg_pipeline_zero_contention(self):
+        # A pipeline this small on 24 tiles must route contention-free.
+        mapping = low_contention_mapping(PROCESSES, CHANNELS)
+        assert route_overlap(mapping, CHANNELS) == 0
+
+
+class TestRouteOverlap:
+    def test_unmapped_endpoint_raises(self):
+        mapping = Mapping(assignment={"a": 0})
+        with pytest.raises(KeyError):
+            route_overlap(mapping, [("a", "b")])
+
+    def test_forced_sharing_counted(self):
+        # Three channels down the same single-row corridor must share.
+        mapping = Mapping(assignment={"a": 0, "b": 4, "c": 2, "d": 8})
+        channels = [("a", "b"), ("c", "b"), ("a", "c")]
+        overlap = route_overlap(mapping, channels)
+        assert overlap > 0
+
+    def test_tile_of(self):
+        mapping = Mapping(assignment={"a": 7})
+        assert mapping.tile_of("a") == 3
+        assert mapping.core_of("a") == 7

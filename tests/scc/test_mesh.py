@@ -1,0 +1,53 @@
+"""Tests for XY mesh routing."""
+
+import pytest
+
+from repro.scc.mesh import CYCLES_PER_HOP, Mesh, Route
+
+
+@pytest.fixture
+def mesh():
+    return Mesh()
+
+
+class TestRouting:
+    def test_self_route(self, mesh):
+        route = mesh.route(5, 5)
+        assert route.tiles == (5,)
+        assert route.hop_count == 0
+
+    def test_x_first(self, mesh):
+        # Tile 0 is (0,0); tile 8 is (2,1): X moves first.
+        route = mesh.route(0, 8)
+        assert route.tiles == (0, 1, 2, 8)
+
+    def test_hop_count_is_manhattan(self, mesh):
+        assert mesh.hop_count(0, 23) == 8
+        assert mesh.hop_count(3, 3) == 0
+
+    def test_route_endpoints(self, mesh):
+        route = mesh.route(2, 21)
+        assert route.tiles[0] == 2
+        assert route.tiles[-1] == 21
+        assert route.hop_count == mesh.hop_count(2, 21)
+
+    def test_links_directed(self, mesh):
+        links = mesh.link_segments(0, 2)
+        assert links == [(0, 1), (1, 2)]
+        reverse = mesh.link_segments(2, 0)
+        assert reverse == [(2, 1), (1, 0)]
+
+    def test_latency_scales_with_hops(self, mesh):
+        near = mesh.latency_ms(0, 1)
+        far = mesh.latency_ms(0, 23)
+        assert far == pytest.approx(8 * near)
+
+    def test_latency_value(self, mesh):
+        # 1 hop * 4 cycles at 800 MHz = 5 ns.
+        assert mesh.latency_ms(0, 1) == pytest.approx(
+            CYCLES_PER_HOP / 800e6 * 1e3
+        )
+
+    def test_invalid_tiles(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.route(0, 99)

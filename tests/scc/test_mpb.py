@@ -1,0 +1,57 @@
+"""Tests for the MPB chunked-transfer model."""
+
+import pytest
+
+from repro.scc.clock import ClockDomain
+from repro.scc.mesh import Mesh
+from repro.scc.mpb import MpbModel
+
+
+@pytest.fixture
+def mpb():
+    return MpbModel(mesh=Mesh())
+
+
+class TestChunking:
+    def test_chunk_count(self, mpb):
+        assert mpb.chunk_count(0) == 1
+        assert mpb.chunk_count(1) == 1
+        assert mpb.chunk_count(3 * 1024) == 1
+        assert mpb.chunk_count(3 * 1024 + 1) == 2
+        assert mpb.chunk_count(10 * 1024) == 4
+
+    def test_rejects_oversized_chunks(self):
+        with pytest.raises(ValueError):
+            MpbModel(mesh=Mesh(), chunk_bytes=9 * 1024)
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            MpbModel(mesh=Mesh(), chunk_bytes=0)
+
+
+class TestTransferTime:
+    def test_monotone_in_size(self, mpb):
+        small = mpb.transfer_time_ms(1024, 0, 5)
+        large = mpb.transfer_time_ms(64 * 1024, 0, 5)
+        assert large > small
+
+    def test_monotone_in_distance(self, mpb):
+        near = mpb.transfer_time_ms(3 * 1024, 0, 1)
+        far = mpb.transfer_time_ms(3 * 1024, 0, 23)
+        assert far > near
+
+    def test_same_tile_cheapest(self, mpb):
+        local = mpb.transfer_time_ms(3 * 1024, 4, 4)
+        remote = mpb.transfer_time_ms(3 * 1024, 4, 5)
+        assert local < remote
+
+    def test_decoded_frame_latency_negligible_vs_period(self, mpb):
+        # The paper: "fast on-chip communication does not significantly
+        # influence FIFO sizes or fault detection timings".  A 76.8 KB
+        # decoded frame crosses the die in well under a millisecond —
+        # tiny against the 30 ms frame period.
+        latency = mpb.transfer_time_ms(76800, 0, 23)
+        assert latency < 1.0
+
+    def test_zero_bytes_still_costs_handshake(self, mpb):
+        assert mpb.transfer_time_ms(0, 0, 1) > 0

@@ -1,0 +1,38 @@
+"""Tests for the iRCCE-style communication layer."""
+
+import pytest
+
+from repro.kpn.tokens import Token
+from repro.scc.chip import SccChip
+from repro.scc.mapping import Mapping
+from repro.scc.rcce import RcceComm
+
+
+@pytest.fixture
+def comm():
+    chip = SccChip()
+    mapping = Mapping(assignment={"src": 0, "dst": 46})
+    return RcceComm(chip, mapping)
+
+
+class TestRcceComm:
+    def test_latency_positive_and_size_dependent(self, comm):
+        latency = comm.latency_between("src", "dst")
+        small = latency(Token(value=0, size_bytes=1024))
+        large = latency(Token(value=0, size_bytes=64 * 1024))
+        assert 0 < small < large
+
+    def test_unmapped_endpoint_zero_latency(self, comm):
+        latency = comm.latency_between("src", "ghost")
+        assert latency(Token(value=0, size_bytes=4096)) == 0.0
+
+    def test_statistics_accumulate(self, comm):
+        latency = comm.latency_between("src", "dst")
+        latency(Token(value=0, size_bytes=100))
+        latency(Token(value=0, size_bytes=200))
+        assert comm.messages_sent == 2
+        assert comm.bytes_sent == 300
+
+    def test_fixed_latency_between_cores(self, comm):
+        latency = comm.fixed_latency(3, 40)
+        assert latency(Token(value=0, size_bytes=3072)) > 0

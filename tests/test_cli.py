@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_pjd, build_parser, main
+
+
+class TestParsePjd:
+    def test_plain(self):
+        model = _parse_pjd("30,2,30")
+        assert model.as_tuple() == (30.0, 2.0, 30.0)
+
+    def test_angle_brackets_and_spaces(self):
+        model = _parse_pjd("<6.3, 0.5, 6.3>")
+        assert model.period == 6.3
+
+    def test_bad_arity(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_pjd("1,2")
+
+    def test_invalid_model(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_pjd("0,0,0")
+
+
+class TestSizingCommand:
+    def test_app_sizing(self, capsys):
+        assert main(["sizing", "--app", "mjpeg"]) == 0
+        out = capsys.readouterr().out
+        assert "|R1|" in out
+        assert "= 2" in out
+
+    def test_explicit_models(self, capsys):
+        code = main([
+            "sizing",
+            "--producer", "10,1,10",
+            "--replica1", "10,2,10",
+            "--replica2", "10,8,10",
+        ])
+        assert code == 0
+        assert "D_selector" in capsys.readouterr().out
+
+    def test_missing_models_errors(self, capsys):
+        assert main(["sizing", "--producer", "10,1,10"]) == 2
+
+
+class TestDemoCommand:
+    def test_adpcm_demo(self, capsys):
+        code = main(["demo", "--app", "adpcm", "--warmup", "40",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fail-stop fault" in out
+        assert "consumer stalls: 0" in out
+
+    def test_degrade_demo(self, capsys):
+        code = main(["demo", "--app", "adpcm", "--degrade",
+                     "--warmup", "40"])
+        assert code == 0
+        assert "rate-degrade" in capsys.readouterr().out
+
+
+class TestTablesCommand:
+    def test_table1_only(self, capsys):
+        assert main(["tables", "--which", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_table2_single_app(self, capsys):
+        code = main(["tables", "--which", "2", "--apps", "adpcm",
+                     "--runs", "2", "--warmup", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2 [adpcm]" in out
+        assert "mjpeg" not in out
+
+
+class TestCalibrateCommand:
+    def test_fits_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\n".join(str(i * 10.0) for i in range(50)))
+        assert main(["calibrate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fitted PJD" in out
+        assert "period       = 10" in out
+
+    def test_too_short_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("1.0\n")
+        assert main(["calibrate", str(trace)]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReportCommand:
+    def test_writes_markdown_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", str(out), "--runs", "2", "--warmup", "40"])
+        assert code == 0
+        assert "all verdicts hold: True" in capsys.readouterr().out
+        assert "Table 2" in out.read_text()
