@@ -13,6 +13,9 @@ Commands
 ``calibrate``
     Fit a PJD model to a trace of event timestamps (file or stdin,
     one timestamp per line) — the Eq. 2 calibration path.
+``run``
+    Run one fault-free duplicated network and print the engine summary,
+    including simulation throughput (events/sec).
 """
 
 from __future__ import annotations
@@ -114,6 +117,22 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.experiments.runner import run_duplicated
+
+    app = _APPS[args.app](AppScale(), seed=args.seed)
+    run = run_duplicated(app, args.tokens, args.seed)
+    stats = run.stats
+    print(f"{app.name}: {args.tokens} tokens, seed {args.seed}")
+    print(f"  events            = {stats.events}")
+    print(f"  virtual end time  = {stats.end_time:.1f} ms")
+    print(f"  wall time         = {stats.wall_time_s * 1e3:.1f} ms")
+    print(f"  events/sec        = {stats.events_per_sec:,.0f}")
+    print(f"  consumer stalls   = {run.stalls}")
+    print(f"  tokens delivered  = {len(run.values)}")
+    return 0
+
+
 def _cmd_calibrate(args) -> int:
     from repro.rtc.calibration import fit_pjd
 
@@ -206,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--warmup", type=int, default=80)
     demo.add_argument("--seed", type=int, default=1)
     demo.set_defaults(func=_cmd_demo)
+
+    run = sub.add_parser(
+        "run",
+        help="run a fault-free duplicated network, print engine summary",
+    )
+    run.add_argument("--app", choices=sorted(_APPS), default="mjpeg")
+    run.add_argument("--tokens", type=int, default=200)
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=_cmd_run)
 
     calibrate = sub.add_parser("calibrate",
                                help="fit a PJD model to a timestamp trace")

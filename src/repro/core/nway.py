@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.core.detection import (
     MECHANISM_DIVERGENCE,
@@ -84,8 +84,8 @@ class NWayReplicatorChannel:
         self.reads = [0] * self.n
         self.writes = 0
         self._sim = None
-        self._parked_readers: List[List] = [[] for _ in range(self.n)]
-        self._parked_writers: List = []
+        self._parked_readers: List[Deque] = [deque() for _ in range(self.n)]
+        self._parked_writers: Deque = deque()
 
     def bind(self, sim) -> None:
         self._sim = sim
@@ -184,19 +184,23 @@ class NWayReplicatorChannel:
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_readers[index]:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_readers[index].append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers.append(handle)
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order (see Fifo._wake): deterministic retry sequence.
+        sim = self._sim
         while parked:
-            self._sim.retry(parked.pop())
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
 
 class NWaySelectorChannel:
@@ -237,8 +241,8 @@ class NWaySelectorChannel:
         self.drops = [0] * self.n
         self.reads = 0
         self._sim = None
-        self._parked_reader: List = []
-        self._parked_writers: List[List] = [[] for _ in range(self.n)]
+        self._parked_reader: Deque = deque()
+        self._parked_writers: List[Deque] = [deque() for _ in range(self.n)]
         if trace is not None and self.priming:
             trace.preset_fill(self.priming)
 
@@ -366,19 +370,23 @@ class NWaySelectorChannel:
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_reader:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_reader.append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers[index]:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers[index].append(handle)
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order (see Fifo._wake): deterministic retry sequence.
+        sim = self._sim
         while parked:
-            self._sim.retry(parked.pop())
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
 
 @dataclass

@@ -103,8 +103,8 @@ class ReplicatorChannel:
         self.reads = [0, 0]
         self.writes = 0
         self._sim = None
-        self._parked_readers: Tuple[List, List] = ([], [])
-        self._parked_writers: List = []
+        self._parked_readers: Tuple[Deque, Deque] = (deque(), deque())
+        self._parked_writers: Deque = deque()
 
     # -- wiring -------------------------------------------------------------
 
@@ -236,21 +236,25 @@ class ReplicatorChannel:
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_readers[index]:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_readers[index].append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers.append(handle)
 
     # -- internals ------------------------------------------------------------
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order (see Fifo._wake): deterministic retry sequence.
+        sim = self._sim
         while parked:
-            self._sim.retry(parked.pop())
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
     def __repr__(self) -> str:
         return (

@@ -23,7 +23,8 @@ faulty).  Detection rules are exactly those of Section 3.3.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.core.detection import (
     MECHANISM_DIVERGENCE,
@@ -74,8 +75,8 @@ class RingBufferReplicator:
         self.reads = [0, 0]
         self.fault = [False, False]
         self._sim = None
-        self._parked_readers: Tuple[List, List] = ([], [])
-        self._parked_writers: List = []
+        self._parked_readers: Tuple[Deque, Deque] = (deque(), deque())
+        self._parked_writers: Deque = deque()
 
     # -- wiring -------------------------------------------------------------
 
@@ -201,19 +202,23 @@ class RingBufferReplicator:
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_readers[index]:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_readers[index].append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers.append(handle)
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order (see Fifo._wake): deterministic retry sequence.
+        sim = self._sim
         while parked:
-            self._sim.retry(parked.pop())
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
     def __repr__(self) -> str:
         return (

@@ -155,8 +155,8 @@ class SelectorChannel:
         self.reads = 0
         self._pending_values: Dict[int, Any] = {}
         self._sim = None
-        self._parked_reader: List = []
-        self._parked_writers: Tuple[List, List] = ([], [])
+        self._parked_reader: Deque = deque()
+        self._parked_writers: Tuple[Deque, Deque] = (deque(), deque())
 
     # -- wiring -------------------------------------------------------------
 
@@ -344,21 +344,25 @@ class SelectorChannel:
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_reader:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_reader.append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers[index]:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers[index].append(handle)
 
     # -- internals ------------------------------------------------------------
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order (see Fifo._wake): deterministic retry sequence.
+        sim = self._sim
         while parked:
-            self._sim.retry(parked.pop())
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
     def __repr__(self) -> str:
         return (

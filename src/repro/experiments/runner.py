@@ -34,6 +34,7 @@ from repro.core.overhead import (
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSpec
 from repro.kpn.process import Process
+from repro.kpn.simulator import RunStats
 from repro.kpn.trace import TraceRecorder
 from repro.rtc.sizing import SizingResult
 
@@ -69,6 +70,9 @@ class DuplicatedRun:
     overhead_replicator: OverheadReport
     overhead_selector: OverheadReport
     network: DuplicatedNetwork = field(repr=False, default=None)
+    #: Engine-level summary of the run (event count, wall time,
+    #: events/sec) — the in-band throughput signal the CLI surfaces.
+    stats: Optional[RunStats] = None
 
     def detection_latency(self, site: Optional[str] = None
                           ) -> Optional[float]:
@@ -205,4 +209,5 @@ def run_duplicated(
         overhead_replicator=overhead_r,
         overhead_selector=overhead_s,
         network=duplicated,
+        stats=stats,
     )

@@ -98,8 +98,8 @@ class Fifo:
         if trace is not None and initial_tokens:
             trace.preset_fill(len(initial_tokens))
         self._sim = None
-        self._parked_readers: List = []
-        self._parked_writers: List = []
+        self._parked_readers: Deque = deque()
+        self._parked_writers: Deque = deque()
 
     # -- wiring -------------------------------------------------------------
 
@@ -148,7 +148,8 @@ class Fifo:
         self._queue.popleft()
         if self.trace is not None:
             self.trace.on_read(now, token.seqno)
-        self._wake(self._parked_writers)
+        if self._parked_writers:
+            self._wake(self._parked_writers)
         return ("ok", token)
 
     def poll_write(self, index: int, token: Token, now: float):
@@ -160,26 +161,33 @@ class Fifo:
         self._queue.append((now + delay, token))
         if self.trace is not None:
             self.trace.on_write(now, token.seqno)
-        self._wake(self._parked_readers)
+        if self._parked_readers:
+            self._wake(self._parked_readers)
         return ("ok", None)
 
     def park_reader(self, index: int, handle) -> None:
-        if handle not in self._parked_readers:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_readers.append(handle)
 
     def park_writer(self, index: int, handle) -> None:
-        if handle not in self._parked_writers:
+        if not handle.is_parked:
+            handle.is_parked = True
             self._parked_writers.append(handle)
 
     # -- internals ------------------------------------------------------------
 
-    def _wake(self, parked: List) -> None:
-        if self._sim is None:
-            parked.clear()
-            return
+    def _wake(self, parked: Deque) -> None:
+        # FIFO wake order: the longest-parked party retries first.  Wake
+        # order feeds the engine's sequence numbers and thus trace
+        # identity, so it must not depend on park history (a LIFO pop
+        # would reorder when two parties share a parked deque).
+        sim = self._sim
         while parked:
-            handle = parked.pop()
-            self._sim.retry(handle)
+            handle = parked.popleft()
+            handle.is_parked = False
+            if sim is not None:
+                sim.retry(handle)
 
     def __repr__(self) -> str:
         return f"Fifo({self.name}, fill={self.fill}/{self.capacity})"

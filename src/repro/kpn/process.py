@@ -49,11 +49,23 @@ def pjd_schedule(
     times: List[float] = []
     previous = -math.inf
     half_jitter = model.jitter / 2.0
+    period = model.period
+    min_distance = model.min_distance
+    # One vectorised draw is bit-identical to `count` scalar draws from
+    # the same generator state, so this keeps historical schedules exact.
+    # The min-distance recurrence below must stay scalar: rewriting it
+    # with accumulated maxima changes float rounding when the constraint
+    # binds.
+    if half_jitter > 0 and count > 0:
+        offsets = rng.uniform(-half_jitter, half_jitter, size=count)
+    else:
+        offsets = None
     for i in range(count):
-        nominal = start + i * model.period
-        if half_jitter > 0:
-            nominal += rng.uniform(-half_jitter, half_jitter)
-        instant = max(nominal, previous + model.min_distance, 0.0)
+        nominal = start + i * period
+        if offsets is not None:
+            nominal += offsets[i]
+        # float() keeps np.float64 out of schedules (and thus traces).
+        instant = float(max(nominal, previous + min_distance, 0.0))
         times.append(instant)
         previous = instant
     return times
@@ -86,7 +98,7 @@ class Process:
         """Current virtual time (only valid while attached)."""
         if self._sim is None:
             raise ProtocolError(f"{self.name} is not attached to a simulator")
-        return self._sim.now
+        return self._sim._now
 
     def behavior(self):
         """The process body (a generator).  Must be overridden."""
@@ -137,23 +149,30 @@ class PeriodicSource(Process):
             raise ProtocolError(f"{self.name}: output endpoint not connected")
         rng = np.random.default_rng(self.seed)
         schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        # The generator body only runs while attached, so the simulator
+        # clock can be read directly; virtual time only changes across a
+        # yield, so it is cached in a local between yields.
+        sim = self._sim
         for i, release in enumerate(schedule):
-            wait = release - self.now
+            now = sim._now
+            wait = release - now
             if wait > 0:
                 yield Delay(wait)
+                now = sim._now
             value, size = self.payload(i)
             token = Token(
                 value=value,
                 seqno=i + 1,
-                stamp=self.now,
+                stamp=now,
                 size_bytes=size,
                 origin=self.name,
             )
-            self.release_times.append(self.now)
-            before = self.now
+            self.release_times.append(now)
+            before = now
             yield Write(self.output, token)
-            self.commit_times.append(self.now)
-            if self.now > before + 1e-12:
+            now = sim._now
+            self.commit_times.append(now)
+            if now > before + 1e-12:
                 self.blocked_writes += 1
 
 
@@ -202,16 +221,19 @@ class PeriodicConsumer(Process):
             raise ProtocolError(f"{self.name}: input endpoint not connected")
         rng = np.random.default_rng(self.seed)
         schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        tie_epsilon = self.TIE_EPSILON
+        sim = self._sim
         for demand in schedule:
-            wait = demand + self.TIE_EPSILON - self.now
+            wait = demand + tie_epsilon - sim._now
             if wait > 0:
                 yield Delay(wait)
-            attempt = self.now
+            attempt = sim._now
             token = yield Read(self.input)
-            if self.now > attempt + 1e-12:
+            now = sim._now
+            if now > attempt + 1e-12:
                 self.stalls += 1
-                self.total_stall_time += self.now - attempt
-            self.arrival_times.append(self.now)
+                self.total_stall_time += now - attempt
+            self.arrival_times.append(now)
             if self.keep_values:
                 self.tokens.append(token)
 

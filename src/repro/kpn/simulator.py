@@ -3,7 +3,7 @@
 Virtual time is a float (milliseconds by convention throughout the
 library).  Events are totally ordered by ``(time, sequence_number)`` so two
 runs of the same seeded network produce byte-identical traces — the
-determinism policy of DESIGN.md Section 6.
+determinism policy of DESIGN.md Section 7.
 
 Processes are generators driven by the engine: each yielded
 :class:`~repro.kpn.operations.Operation` either completes immediately, is
@@ -12,14 +12,34 @@ parks the process on a channel until a counterparty unblocks it.  This
 reproduces the blocking FIFO semantics of Section 2 of the paper without
 any OS threads, making fault injection (killing a replica at an exact
 virtual instant) trivial and exact.
+
+Hot-path design
+---------------
+
+The engine avoids per-event closure allocation: every scheduled unit of
+work is one of four ``__slots__``-based typed records (:class:`StartEvent`,
+:class:`ResumeEvent`, :class:`RetryEvent`, :class:`CallbackEvent`)
+dispatched through a small jump table keyed on the record class.
+
+Channel wake-ups take a **direct-handoff fast path**: a counterparty freed
+at the *current* virtual instant is queued on a same-time run queue (a
+deque) instead of round-tripping through the event heap as a
+``schedule(0.0, ...)`` event.  Run-queue entries carry sequence numbers
+drawn from the same counter as heap events and the main loop always fires
+the globally smallest ``(time, sequence)`` next, so the observable event
+order — and therefore every trace — is identical to the heap-only engine.
+The queue is bounded by construction: ``wake_scheduled`` admits at most
+one pending wake per registered process.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from collections import deque
 from enum import Enum
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.kpn.errors import ProtocolError, SimulationError
 from repro.kpn.operations import Delay, Halt, Operation, Read, Write
@@ -40,13 +60,29 @@ class ProcessState(Enum):
 class ProcessHandle:
     """Engine-side wrapper around one process generator."""
 
+    __slots__ = (
+        "name",
+        "generator",
+        "owner",
+        "state",
+        "pending_op",
+        "wake_scheduled",
+        "is_parked",
+    )
+
     def __init__(self, name: str, generator, owner: Any = None) -> None:
         self.name = name
         self.generator = generator
         self.owner = owner
         self.state = ProcessState.READY
         self.pending_op: Optional[Operation] = None
+        #: A wake (retry) for this handle is already queued; channels may
+        #: wake a party several times in one instant, the engine coalesces.
         self.wake_scheduled = False
+        #: The handle sits in some channel's parked deque.  A process
+        #: blocks on exactly one operation at a time, so a single flag
+        #: replaces the per-channel ``handle in parked`` membership scans.
+        self.is_parked = False
 
     @property
     def alive(self) -> bool:
@@ -63,6 +99,49 @@ class ProcessHandle:
         return f"ProcessHandle({self.name}, {self.state.value})"
 
 
+class StartEvent:
+    """First advancement of a freshly registered process."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: ProcessHandle) -> None:
+        self.handle = handle
+
+
+class ResumeEvent:
+    """Resume a delayed process (``Delay`` completion)."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle: ProcessHandle) -> None:
+        self.handle = handle
+
+
+class RetryEvent:
+    """Re-attempt a blocked operation at a known future instant.
+
+    Used for the channel ``("wait", t)`` status: a token is in flight and
+    becomes readable at ``t``.  Same-instant wakes never build this record
+    — they ride the direct-handoff run queue instead.
+    """
+
+    __slots__ = ("handle", "operation")
+
+    def __init__(self, handle: ProcessHandle, operation: Operation) -> None:
+        self.handle = handle
+        self.operation = operation
+
+
+class CallbackEvent:
+    """An arbitrary callable — the public ``schedule`` API, fault
+    injection hooks, and tests."""
+
+    __slots__ = ("action",)
+
+    def __init__(self, action: Callable[[], None]) -> None:
+        self.action = action
+
+
 @dataclass
 class RunStats:
     """Summary of one :meth:`Simulator.run` call."""
@@ -71,6 +150,11 @@ class RunStats:
     end_time: float = 0.0
     halted_on_limit: bool = False
     blocked_processes: List[str] = field(default_factory=list)
+    #: Wall-clock duration of the run loop (seconds).
+    wall_time_s: float = 0.0
+    #: Events processed per wall-clock second — the in-band throughput
+    #: signal perf PRs are measured against.
+    events_per_sec: float = 0.0
 
 
 class Simulator:
@@ -85,11 +169,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Any]] = []
+        #: Direct-handoff run queue: ``(time, sequence, handle)`` wakes at
+        #: the current instant, FIFO in sequence order.
+        self._runq: Deque[Tuple[float, int, ProcessHandle]] = deque()
         self._sequence = 0
         self._now = 0.0
         self._handles: Dict[str, ProcessHandle] = {}
-        self._started = False
         self._event_count = 0
 
     # -- time and scheduling ----------------------------------------------
@@ -112,12 +198,18 @@ class Simulator:
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> None:
         """Schedule ``action`` at an absolute virtual instant."""
+        self._push_event(time, CallbackEvent(action))
+
+    def _push_event(self, time: float, event: Any) -> None:
+        """Push a typed event record onto the heap at ``time``."""
         if time < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule at {time} before now ({self._now})"
             )
         self._sequence += 1
-        heapq.heappush(self._heap, (max(time, self._now), self._sequence, action))
+        heapq.heappush(
+            self._heap, (max(time, self._now), self._sequence, event)
+        )
 
     # -- process management -------------------------------------------------
 
@@ -134,7 +226,7 @@ class Simulator:
         self._handles[name] = handle
         if hasattr(process, "attach"):
             process.attach(self, handle)
-        self.schedule(0.0, lambda: self._start(handle))
+        self._push_event(self._now, StartEvent(handle))
         return handle
 
     def register_all(self, processes: Iterable[Any]) -> List[ProcessHandle]:
@@ -155,7 +247,14 @@ class Simulator:
         if handle.state is ProcessState.DONE:
             return
         handle.state = ProcessState.KILLED
-        handle.generator.close()
+        try:
+            handle.generator.close()
+        except (RuntimeError, ValueError):
+            # The generator is currently executing — a process killing
+            # itself, or a hook firing while the engine is mid-advance.
+            # The KILLED state already guarantees it never advances
+            # again; the suspended frame is reclaimed by the GC.
+            pass
 
     def blocked_processes(self) -> List[str]:
         """Names of live processes currently parked on a channel."""
@@ -172,7 +271,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> RunStats:
-        """Process events until the heap drains, ``until`` is passed, or
+        """Process events until the queues drain, ``until`` is passed, or
         ``max_events`` fire.  Returns a :class:`RunStats` summary.
 
         Running out of events with parked processes is *quiescence* (the
@@ -180,126 +279,278 @@ class Simulator:
         consider it a deadlock can inspect ``stats.blocked_processes``.
         """
         stats = RunStats()
-        while self._heap:
-            time, _seq, action = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = time
-            self._event_count += 1
-            stats.events += 1
-            action()
-            if max_events is not None and stats.events >= max_events:
-                stats.halted_on_limit = True
-                break
+        heap = self._heap
+        runq = self._runq
+        jump = _JUMP_TABLE
+        pop = heapq.heappop
+        advance = self._advance
+        reattempt = self._reattempt
+        time_limit = float("inf") if until is None else until
+        event_limit = -1 if max_events is None else max_events
+        events = 0
+        started = perf_counter()
+        try:
+            while heap or runq:
+                # The next event is the globally smallest (time, sequence)
+                # of the heap top and the run-queue front.  Run-queue
+                # entries are pushed with monotonically increasing sequence
+                # numbers at the then-current time, so the front is always
+                # the queue minimum.
+                if runq:
+                    entry = runq[0]
+                    if heap:
+                        top = heap[0]
+                        if top[0] < entry[0] or (
+                            top[0] == entry[0] and top[1] < entry[1]
+                        ):
+                            entry = top
+                            from_runq = False
+                        else:
+                            from_runq = True
+                    else:
+                        from_runq = True
+                else:
+                    entry = heap[0]
+                    from_runq = False
+                time = entry[0]
+                if time > time_limit:
+                    break
+                self._now = time
+                events += 1
+                if from_runq:
+                    # Direct-handoff wake, inlined from _fire_wake.
+                    runq.popleft()
+                    handle = entry[2]
+                    handle.wake_scheduled = False
+                    operation = handle.pending_op
+                    if operation is not None:
+                        reattempt(handle, operation)
+                else:
+                    pop(heap)
+                    event = entry[2]
+                    cls = event.__class__
+                    if cls is ResumeEvent:
+                        # Fast path for the most frequent record (Delay
+                        # completions); everything else takes the table.
+                        advance(event.handle, None)
+                    else:
+                        jump[cls](self, event)
+                if events == event_limit:
+                    stats.halted_on_limit = True
+                    break
+        finally:
+            self._event_count += events
+        stats.events = events
+        stats.wall_time_s = perf_counter() - started
+        if stats.wall_time_s > 0:
+            stats.events_per_sec = stats.events / stats.wall_time_s
         stats.end_time = self._now
         stats.blocked_processes = self.blocked_processes()
         return stats
 
     def step(self) -> bool:
         """Process a single event; returns False when none are pending."""
-        if not self._heap:
+        heap = self._heap
+        runq = self._runq
+        if runq and (
+            not heap
+            or runq[0][0] < heap[0][0]
+            or (runq[0][0] == heap[0][0] and runq[0][1] < heap[0][1])
+        ):
+            time, _seq, handle = runq.popleft()
+            self._now = time
+            self._event_count += 1
+            self._fire_wake(handle)
+            return True
+        if not heap:
             return False
-        time, _seq, action = heapq.heappop(self._heap)
+        time, _seq, event = heapq.heappop(heap)
         self._now = time
         self._event_count += 1
-        action()
+        _JUMP_TABLE[event.__class__](self, event)
         return True
 
-    # -- process driving ------------------------------------------------------
+    # -- event firing ---------------------------------------------------------
 
-    def _start(self, handle: ProcessHandle) -> None:
+    def _fire_start(self, event: StartEvent) -> None:
+        handle = event.handle
         if handle.state is ProcessState.KILLED:
             return
         self._advance(handle, None)
 
-    def _advance(self, handle: ProcessHandle, value: Any) -> None:
-        """Resume the generator with ``value`` and dispatch its next op."""
-        if not handle.alive:
-            return
-        handle.state = ProcessState.RUNNING
-        try:
-            operation = handle.generator.send(value)
-        except StopIteration:
-            handle.state = ProcessState.DONE
-            return
-        self._dispatch(handle, operation)
+    def _fire_resume(self, event: ResumeEvent) -> None:
+        self._advance(event.handle, None)
 
-    def _dispatch(self, handle: ProcessHandle, operation: Operation) -> None:
-        if isinstance(operation, Delay):
-            handle.state = ProcessState.DELAYED
-            handle.pending_op = operation
-            self.schedule(operation.duration,
-                          lambda: self._advance(handle, None))
-        elif isinstance(operation, Read):
-            self._attempt_read(handle, operation)
-        elif isinstance(operation, Write):
-            self._attempt_write(handle, operation)
-        elif isinstance(operation, Halt):
-            handle.state = ProcessState.DONE
-            handle.generator.close()
-        else:
+    def _fire_retry(self, event: RetryEvent) -> None:
+        self._reattempt(event.handle, event.operation)
+
+    def _fire_callback(self, event: CallbackEvent) -> None:
+        event.action()
+
+    def _fire_wake(self, handle: ProcessHandle) -> None:
+        """Fire one direct-handoff wake from the run queue."""
+        handle.wake_scheduled = False
+        operation = handle.pending_op
+        if operation is not None:
+            self._reattempt(handle, operation)
+
+    def _reattempt(self, handle: ProcessHandle, operation: Operation) -> None:
+        """Re-poll a blocked operation; resume the process on success."""
+        state = handle.state
+        if state is _DONE or state is _KILLED:
+            return
+        endpoint = operation.endpoint
+        cls = operation.__class__
+        if cls is Read:
+            status, payload = endpoint.channel.poll_read(
+                endpoint.index, self._now
+            )
+            if status == "ok":
+                self._advance(handle, payload)
+            elif status == "wait":
+                handle.state = ProcessState.BLOCKED_READ
+                handle.pending_op = operation
+                self._push_event(payload, RetryEvent(handle, operation))
+            elif status == "empty":
+                handle.state = ProcessState.BLOCKED_READ
+                handle.pending_op = operation
+                endpoint.channel.park_reader(endpoint.index, handle)
+            else:  # pragma: no cover - channel contract violation
+                raise ProtocolError(f"bad poll_read status {status!r}")
+        elif cls is Write:
+            status, _ = endpoint.channel.poll_write(
+                endpoint.index, operation.token, self._now
+            )
+            if status == "ok":
+                self._advance(handle, None)
+            elif status == "full":
+                handle.state = ProcessState.BLOCKED_WRITE
+                handle.pending_op = operation
+                endpoint.channel.park_writer(endpoint.index, handle)
+            else:  # pragma: no cover - channel contract violation
+                raise ProtocolError(f"bad poll_write status {status!r}")
+
+    # -- process driving ------------------------------------------------------
+
+    def _advance(self, handle: ProcessHandle, value: Any) -> None:
+        """Resume the generator with ``value`` and run it until it blocks.
+
+        Consecutive immediately-satisfiable operations (a read with a
+        token ready, a write into free space) complete in this tight loop
+        rather than through mutual recursion — one Python frame per
+        resumption instead of three, the single hottest path in the
+        engine.  Operation dispatch is by concrete class (the operation
+        types are final), ordered by observed frequency.
+        """
+        state = handle.state
+        if state is _DONE or state is _KILLED:
+            return
+        generator_send = handle.generator.send
+        running = _RUNNING
+        killed = _KILLED
+        while True:
+            handle.state = running
+            try:
+                operation = generator_send(value)
+            except StopIteration:
+                handle.state = _DONE
+                return
+            if handle.state is killed:
+                # Killed from inside its own advancement (self-kill
+                # hook); drop the yielded operation.
+                return
+            cls = operation.__class__
+            if cls is Read:
+                endpoint = operation.endpoint
+                status, payload = endpoint.channel.poll_read(
+                    endpoint.index, self._now
+                )
+                if status == "ok":
+                    value = payload
+                    continue
+                handle.state = ProcessState.BLOCKED_READ
+                handle.pending_op = operation
+                if status == "wait":
+                    self._push_event(payload, RetryEvent(handle, operation))
+                elif status == "empty":
+                    endpoint.channel.park_reader(endpoint.index, handle)
+                else:  # pragma: no cover - channel contract violation
+                    raise ProtocolError(f"bad poll_read status {status!r}")
+                return
+            if cls is Write:
+                endpoint = operation.endpoint
+                status, _ = endpoint.channel.poll_write(
+                    endpoint.index, operation.token, self._now
+                )
+                if status == "ok":
+                    value = None
+                    continue
+                if status == "full":
+                    handle.state = ProcessState.BLOCKED_WRITE
+                    handle.pending_op = operation
+                    endpoint.channel.park_writer(endpoint.index, handle)
+                else:  # pragma: no cover - channel contract violation
+                    raise ProtocolError(f"bad poll_write status {status!r}")
+                return
+            if cls is Delay:
+                # Inlined _push_event: Delay validates duration >= 0 at
+                # construction, so the target instant can never precede
+                # the current one — no past-scheduling check needed.
+                handle.state = ProcessState.DELAYED
+                handle.pending_op = operation
+                self._sequence += 1
+                heapq.heappush(
+                    self._heap,
+                    (
+                        self._now + operation.duration,
+                        self._sequence,
+                        ResumeEvent(handle),
+                    ),
+                )
+                return
+            if cls is Halt:
+                handle.state = _DONE
+                handle.generator.close()
+                return
             raise ProtocolError(
                 f"process {handle.name} yielded unknown operation "
                 f"{operation!r}"
             )
 
-    def _attempt_read(self, handle: ProcessHandle, operation: Read) -> None:
-        if not handle.alive:
-            return
-        endpoint = operation.endpoint
-        status, payload = endpoint.channel.poll_read(endpoint.index, self._now)
-        if status == "ok":
-            self._advance(handle, payload)
-        elif status == "wait":
-            handle.state = ProcessState.BLOCKED_READ
-            handle.pending_op = operation
-            self.schedule_at(payload,
-                             lambda: self._attempt_read(handle, operation))
-        elif status == "empty":
-            handle.state = ProcessState.BLOCKED_READ
-            handle.pending_op = operation
-            endpoint.channel.park_reader(endpoint.index, handle)
-        else:  # pragma: no cover - channel contract violation
-            raise ProtocolError(f"bad poll_read status {status!r}")
-
-    def _attempt_write(self, handle: ProcessHandle, operation: Write) -> None:
-        if not handle.alive:
-            return
-        endpoint = operation.endpoint
-        status, _ = endpoint.channel.poll_write(
-            endpoint.index, operation.token, self._now
-        )
-        if status == "ok":
-            self._advance(handle, None)
-        elif status == "full":
-            handle.state = ProcessState.BLOCKED_WRITE
-            handle.pending_op = operation
-            endpoint.channel.park_writer(endpoint.index, handle)
-        else:  # pragma: no cover - channel contract violation
-            raise ProtocolError(f"bad poll_write status {status!r}")
-
     def retry(self, handle: ProcessHandle) -> None:
-        """Re-attempt a parked process's pending operation *now*.
+        """Queue a parked process's pending operation for re-attempt *now*.
 
         Channels call this when their state changes (a read freed space, a
-        write added a token).  The retry is scheduled as a fresh event so
-        the waker finishes its own event first.
+        write added a token).  The wake goes onto the same-time run queue —
+        the direct-handoff fast path — so the waker finishes its own event
+        first and no heap traffic occurs.  Sequence numbers are drawn from
+        the shared counter, keeping the total event order identical to an
+        engine that schedules the retry through the heap.
         """
-        if not handle.alive or handle.pending_op is None:
-            return
-        if handle.wake_scheduled:
+        state = handle.state
+        if (
+            state is _DONE
+            or state is _KILLED
+            or handle.wake_scheduled
+            or handle.pending_op is None
+        ):
             return
         handle.wake_scheduled = True
-        operation = handle.pending_op
+        self._sequence += 1
+        self._runq.append((self._now, self._sequence, handle))
 
-        def fire() -> None:
-            handle.wake_scheduled = False
-            if not handle.alive:
-                return
-            if isinstance(operation, Read):
-                self._attempt_read(handle, operation)
-            elif isinstance(operation, Write):
-                self._attempt_write(handle, operation)
 
-        self.schedule(0.0, fire)
+#: Hot-path aliases for the enum members: module globals resolve faster
+#: than the two-step ``ProcessState.X`` attribute chain.
+_DONE = ProcessState.DONE
+_KILLED = ProcessState.KILLED
+_RUNNING = ProcessState.RUNNING
+
+#: Jump table: event record class -> bound firing method.  Dict dispatch on
+#: the concrete class avoids an isinstance ladder in the hot loop.
+_JUMP_TABLE = {
+    StartEvent: Simulator._fire_start,
+    ResumeEvent: Simulator._fire_resume,
+    RetryEvent: Simulator._fire_retry,
+    CallbackEvent: Simulator._fire_callback,
+}

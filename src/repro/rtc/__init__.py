@@ -24,6 +24,7 @@ from repro.rtc.curves import (
 )
 from repro.rtc.pjd import PJD, PJDLowerCurve, PJDUpperCurve
 from repro.rtc.minplus import (
+    clear_curve_op_caches,
     max_plus_convolution,
     min_plus_convolution,
     min_plus_deconvolution,
@@ -62,6 +63,7 @@ __all__ = [
     "PJD",
     "PJDLowerCurve",
     "PJDUpperCurve",
+    "clear_curve_op_caches",
     "max_plus_convolution",
     "min_plus_convolution",
     "min_plus_deconvolution",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List
 
 from repro.rtc.curves import EPS, NUDGE, Curve
@@ -81,12 +82,20 @@ class PJD:
         return 1.0 / self.period
 
     def upper(self) -> "PJDUpperCurve":
-        """The upper arrival curve ``alpha_u`` of this model."""
-        return PJDUpperCurve(self)
+        """The upper arrival curve ``alpha_u`` of this model.
+
+        Equal models return the *same* curve object: curves hash by
+        identity, so a stable object per PJD value is what lets the
+        memoized operators in :mod:`repro.rtc.minplus` hit their caches.
+        """
+        return _upper_curve(self)
 
     def lower(self) -> "PJDLowerCurve":
-        """The lower arrival curve ``alpha_l`` of this model."""
-        return PJDLowerCurve(self)
+        """The lower arrival curve ``alpha_l`` of this model.
+
+        Equal models return the same curve object (see :meth:`upper`).
+        """
+        return _lower_curve(self)
 
     def curves(self) -> tuple:
         """``(alpha_u, alpha_l)`` convenience pair."""
@@ -107,6 +116,16 @@ class PJD:
 
     def __str__(self) -> str:
         return f"<{self.period:g}, {self.jitter:g}, {self.min_distance:g}>"
+
+
+@lru_cache(maxsize=256)
+def _upper_curve(model: "PJD") -> "PJDUpperCurve":
+    return PJDUpperCurve(model)
+
+
+@lru_cache(maxsize=256)
+def _lower_curve(model: "PJD") -> "PJDLowerCurve":
+    return PJDLowerCurve(model)
 
 
 class PJDUpperCurve(Curve):

@@ -1,0 +1,6 @@
+"""Developer tooling shipped with the library.
+
+Currently: :mod:`repro.tools.bench_compare`, the perf-regression harness
+that runs the primitive benchmarks and compares them against the committed
+baseline in ``BENCH_primitives.json``.
+"""

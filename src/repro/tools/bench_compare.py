@@ -1,0 +1,331 @@
+"""Perf-regression harness for the primitive benchmarks.
+
+Runs ``benchmarks/bench_primitives.py`` under pytest-benchmark, compares
+the measured timings against the committed baseline in
+``BENCH_primitives.json`` at the repository root, and exits non-zero when
+any benchmark slowed down by more than the threshold (default 15 %).
+
+The JSON file is a small trajectory database::
+
+    {
+      "version": 1,
+      "baseline": {"label": "seed", "captured": "...", "results": {...}},
+      "runs": [{"label": "...", "captured": "...", "results": {...}}, ...]
+    }
+
+``results`` maps benchmark name to ``{"mean": s, "min": s, "rounds": n}``.
+Comparison uses the **min** statistic: the minimum over rounds is the
+least noise-sensitive location estimate for a CPU-bound microbenchmark
+(one-sided timing noise only ever inflates samples).
+
+Usage::
+
+    repro-bench-compare                  # run, compare, record trajectory
+    repro-bench-compare --smoke          # fast sanity pass (lenient, read-only)
+    repro-bench-compare --update-baseline --label my-change
+    repro-bench-compare --self-test      # validate the comparison logic
+
+Exit codes: 0 = within threshold, 1 = regression (or failed self-test),
+2 = usage / environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Name of the trajectory file at the repository root.
+RESULTS_FILENAME = "BENCH_primitives.json"
+
+#: Benchmark module executed by the harness, relative to the repo root.
+BENCH_PATH = Path("benchmarks") / "bench_primitives.py"
+
+#: Default regression threshold, percent slower than baseline.
+DEFAULT_THRESHOLD_PCT = 15.0
+
+#: Threshold used by ``--smoke``: only catastrophic slowdowns fail, since
+#: the smoke pass runs one round per benchmark and is therefore noisy.
+SMOKE_THRESHOLD_PCT = 500.0
+
+
+class BenchCompareError(Exception):
+    """Environment or usage error (exit code 2)."""
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def extract_results(benchmark_json: dict) -> Dict[str, dict]:
+    """Reduce a pytest-benchmark JSON document to the stats we keep."""
+    results: Dict[str, dict] = {}
+    for bench in benchmark_json.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "mean": stats["mean"],
+            "min": stats["min"],
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def compare(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    threshold_pct: float,
+) -> List[str]:
+    """Return a human-readable line per regression (empty = all good).
+
+    A benchmark regresses when its ``min`` exceeds the baseline ``min``
+    by more than ``threshold_pct`` percent.  Benchmarks present in only
+    one of the two sets are reported as informational lines by the
+    caller, never as regressions — adding or retiring a benchmark must
+    not fail CI.
+    """
+    regressions: List[str] = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            continue
+        base_min = base["min"]
+        cur_min = cur["min"]
+        if base_min <= 0:
+            continue
+        change_pct = (cur_min / base_min - 1.0) * 100.0
+        if change_pct > threshold_pct:
+            regressions.append(
+                f"{name}: {cur_min * 1e3:.3f} ms vs baseline "
+                f"{base_min * 1e3:.3f} ms (+{change_pct:.1f} % > "
+                f"+{threshold_pct:.1f} % allowed)"
+            )
+    return regressions
+
+
+def format_report(
+    baseline: Dict[str, dict], current: Dict[str, dict]
+) -> str:
+    """Side-by-side table of baseline vs current minima."""
+    lines = [
+        f"{'benchmark':<36} {'baseline':>12} {'current':>12} {'change':>9}"
+    ]
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"{name:<36} {'-':>12} "
+                         f"{cur['min'] * 1e3:>10.3f}ms {'new':>9}")
+            continue
+        if cur is None:
+            lines.append(f"{name:<36} {base['min'] * 1e3:>10.3f}ms "
+                         f"{'-':>12} {'missing':>9}")
+            continue
+        change = (cur["min"] / base["min"] - 1.0) * 100.0
+        lines.append(
+            f"{name:<36} {base['min'] * 1e3:>10.3f}ms "
+            f"{cur['min'] * 1e3:>10.3f}ms {change:>+8.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def load_db(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchCompareError(f"corrupt {path}: {exc}") from exc
+
+
+def save_db(path: Path, db: dict) -> None:
+    path.write_text(json.dumps(db, indent=2, sort_keys=True) + "\n")
+
+
+def run_benchmarks(repo_root: Path, smoke: bool) -> Dict[str, dict]:
+    """Run the benchmark module and return the extracted results."""
+    bench_file = repo_root / BENCH_PATH
+    if not bench_file.exists():
+        raise BenchCompareError(f"benchmark module not found: {bench_file}")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(bench_file),
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={out}",
+        ]
+        if smoke:
+            cmd += [
+                "--benchmark-min-rounds=1",
+                "--benchmark-max-time=0.1",
+                "--benchmark-warmup=off",
+            ]
+        # The benchmarks import the in-tree package, installed or not.
+        env = dict(os.environ)
+        src = str(repo_root / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        proc = subprocess.run(cmd, cwd=repo_root, env=env)
+        if proc.returncode != 0:
+            raise BenchCompareError(
+                f"benchmark run failed (pytest exit {proc.returncode})"
+            )
+        return extract_results(json.loads(out.read_text()))
+
+
+def self_test() -> int:
+    """Validate the comparison logic on synthetic data.
+
+    Exercises the contract CI depends on: an injected synthetic
+    regression beyond the threshold must be flagged, borderline and
+    improved timings must pass, and added/removed benchmarks must never
+    fail the comparison.
+    """
+    base = {
+        "steady": {"mean": 1.1e-3, "min": 1.0e-3, "rounds": 50},
+        "faster": {"mean": 2.2e-3, "min": 2.0e-3, "rounds": 50},
+        "retired": {"mean": 9.9e-3, "min": 9.0e-3, "rounds": 50},
+    }
+    current = {
+        # +14 % — inside the default 15 % threshold.
+        "steady": {"mean": 1.2e-3, "min": 1.14e-3, "rounds": 50},
+        # 2x faster — improvements never fail.
+        "faster": {"mean": 1.1e-3, "min": 1.0e-3, "rounds": 50},
+        # New benchmark with no baseline — informational only.
+        "added": {"mean": 5.0e-3, "min": 4.5e-3, "rounds": 50},
+    }
+    failures: List[str] = []
+    if compare(base, current, DEFAULT_THRESHOLD_PCT):
+        failures.append("clean synthetic run was flagged as a regression")
+    # Inject a 50 % regression; it must be caught.
+    injected = dict(current)
+    injected["steady"] = {"mean": 1.6e-3, "min": 1.5e-3, "rounds": 50}
+    caught = compare(base, injected, DEFAULT_THRESHOLD_PCT)
+    if len(caught) != 1 or "steady" not in caught[0]:
+        failures.append(
+            f"injected +50 % regression not flagged (got {caught!r})"
+        )
+    # The same regression passes under a lenient smoke threshold.
+    if compare(base, injected, SMOKE_THRESHOLD_PCT):
+        failures.append("smoke threshold flagged a +50 % change")
+    if failures:
+        for failure in failures:
+            print(f"self-test FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("self-test passed: injected regression flagged, clean run clean")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-compare",
+        description="Run the primitive benchmarks and fail on regression "
+        f"against the baseline in {RESULTS_FILENAME}.",
+    )
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root holding %(default)s/"
+        f"{RESULTS_FILENAME} and {BENCH_PATH} (default: cwd)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD_PCT,
+        metavar="PCT",
+        help="max allowed slowdown in percent (default %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast sanity pass: one round per benchmark, lenient "
+        f"threshold ({SMOKE_THRESHOLD_PCT:.0f} %%), trajectory not recorded",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="replace the stored baseline with this run's results",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="label recorded with this run in the trajectory",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="validate the comparison logic on synthetic data and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    repo_root = args.repo_root.resolve()
+    db_path = repo_root / RESULTS_FILENAME
+    try:
+        db = load_db(db_path)
+        current = run_benchmarks(repo_root, smoke=args.smoke)
+    except BenchCompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    label = args.label or ("smoke" if args.smoke else "run")
+    entry = {"label": label, "captured": _utc_now(), "results": current}
+
+    if db is None:
+        if not args.update_baseline:
+            print(
+                f"error: no {RESULTS_FILENAME} at {repo_root}; create one "
+                "with --update-baseline",
+                file=sys.stderr,
+            )
+            return 2
+        db = {"version": 1, "baseline": entry, "runs": []}
+        save_db(db_path, db)
+        print(f"baseline '{label}' written to {db_path}")
+        return 0
+
+    baseline = db["baseline"]["results"]
+    print(f"baseline: {db['baseline'].get('label', '?')} "
+          f"({db['baseline'].get('captured', '?')})")
+    print(format_report(baseline, current))
+
+    if args.update_baseline:
+        db["baseline"] = entry
+        db["runs"] = []
+        save_db(db_path, db)
+        print(f"baseline replaced by '{label}' in {db_path}")
+        return 0
+
+    threshold = SMOKE_THRESHOLD_PCT if args.smoke else args.threshold
+    regressions = compare(baseline, current, threshold)
+    if not args.smoke:
+        # Record the trajectory so the speedup history of the hot paths
+        # survives in-repo (the smoke pass is read-only by design).
+        db.setdefault("runs", []).append(entry)
+        save_db(db_path, db)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{threshold:.1f} %:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all benchmarks within {threshold:.1f} % of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Golden-trace equivalence: the optimized engine must be trace-identical.
+
+The hot-path overhaul (typed event records, the same-time direct-handoff
+run queue, FIFO wake order) is only admissible under the determinism
+policy of DESIGN.md if it never changes observable behaviour.  These
+tests run five seeded duplicated networks — MJPEG-shaped and synthetic,
+fault-free and fault-injected — and compare the complete per-channel
+``ChannelTrace`` event streams byte-for-byte against golden JSON captured
+from the seed engine (before the optimization landed).
+
+Regenerating the goldens (only legitimate when a PR *deliberately*
+changes observable behaviour, in the same commit that justifies it)::
+
+    PYTHONPATH=src python tests/integration/test_trace_equivalence.py --capture
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.apps.mjpeg import MjpegDecoderApp
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.kpn.tracefile import recorder_to_dict
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden_traces")
+
+
+def _scenarios():
+    """The five seeded scenarios, built fresh per call.
+
+    Names are the golden file stems; keep them stable.
+    """
+
+    def mjpeg_clean():
+        return MjpegDecoderApp(seed=77), 40, 4, None
+
+    def mjpeg_failstop():
+        app = MjpegDecoderApp(seed=13)
+        fault = FaultSpec(replica=0,
+                          time=fault_time_for(app, 25, phase=0.55),
+                          kind=FAIL_STOP)
+        return app, 45, 9, fault
+
+    def synthetic_clean():
+        return SyntheticApp(seed=5), 60, 5, None
+
+    def synthetic_bursty():
+        return SyntheticApp.bursty(seed=3), 60, 3, None
+
+    def synthetic_degrade():
+        app = SyntheticApp(seed=8)
+        fault = FaultSpec(replica=1,
+                          time=fault_time_for(app, 30, phase=0.42),
+                          kind=RATE_DEGRADE, slowdown=5.0)
+        return app, 70, 8, fault
+
+    return {
+        "mjpeg_clean": mjpeg_clean,
+        "mjpeg_failstop": mjpeg_failstop,
+        "synthetic_clean": synthetic_clean,
+        "synthetic_bursty": synthetic_bursty,
+        "synthetic_degrade": synthetic_degrade,
+    }
+
+
+def _trace_bytes(builder) -> bytes:
+    """Run one scenario and serialise its traces canonically."""
+    app, tokens, seed, fault = builder()
+    run = run_duplicated(app, tokens, seed, fault=fault,
+                         sizing=app.sizing(), record_events=True)
+    payload = recorder_to_dict(run.network.network.recorder)
+    # Canonical form: sorted keys, repr-exact floats, no whitespace
+    # variation — byte-identity then means event-stream identity.
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_traces_match_seed_engine(name):
+    golden_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    assert os.path.exists(golden_path), (
+        f"missing golden trace {golden_path}; regenerate with "
+        f"'python {__file__} --capture'"
+    )
+    with open(golden_path, "rb") as handle:
+        golden = handle.read()
+    assert _trace_bytes(_scenarios()[name]) == golden, (
+        f"scenario {name}: engine produced a different event stream than "
+        "the seed engine — determinism regression"
+    )
+
+
+def test_repeated_runs_are_byte_identical():
+    """Within one engine version, re-running a scenario is a no-op diff."""
+    builder = _scenarios()["synthetic_clean"]
+    assert _trace_bytes(builder) == _trace_bytes(builder)
+
+
+def _capture() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, builder in sorted(_scenarios().items()):
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "wb") as handle:
+            handle.write(_trace_bytes(builder))
+        print(f"captured {path}")
+
+
+if __name__ == "__main__":
+    if "--capture" in sys.argv:
+        _capture()
+    else:
+        print(__doc__)

@@ -146,3 +146,47 @@ class TestFifoSemantics:
 
     def test_repr(self):
         assert "f" in repr(Fifo("f", 2))
+
+
+class TestWakeOrder:
+    """Parked parties must wake in FIFO (longest-parked-first) order.
+
+    Wake order feeds the engine's sequence numbers and therefore trace
+    identity: a LIFO pop would reorder retries whenever two parties share
+    a parked deque.  Regression test for exactly that.
+    """
+
+    def _run_two_writers(self):
+        sim = Simulator()
+        fifo = Fifo("f", 1)
+        fifo.bind(sim)
+        # w1 commits token 1 and parks on token 2; w2 then parks on
+        # token 3.  Parked order is [w1, w2].
+        w1 = Writer("w1", fifo.writer, [tok(1, 1), tok(2, 2)])
+        w2 = Writer("w2", fifo.writer, [tok(3, 3)])
+        reader = Reader("r", fifo.reader, 3, gap=1.0)
+        sim.register(w1)
+        sim.register(w2)
+        sim.register(reader)
+        sim.run()
+        return [token.value for _, token in reader.received]
+
+    def test_fifo_wake_order_longest_parked_first(self):
+        # Each read frees one slot and wakes both parked writers; the
+        # longest-parked (w1) must win the slot.  LIFO waking would
+        # deliver [1, 3, 2].
+        assert self._run_two_writers() == [1, 2, 3]
+
+    def test_wake_order_is_reproducible(self):
+        assert self._run_two_writers() == self._run_two_writers()
+
+    def test_park_is_idempotent(self):
+        fifo = Fifo("f", 1)
+
+        class FakeHandle:
+            is_parked = False
+
+        handle = FakeHandle()
+        fifo.park_writer(0, handle)
+        fifo.park_writer(0, handle)  # double park must not duplicate
+        assert len(fifo._parked_writers) == 1

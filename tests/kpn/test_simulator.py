@@ -152,6 +152,83 @@ class TestProcessLifecycle:
         assert sim.handle("t").name == "t"
 
 
+class SelfKiller(Process):
+    """Kills itself mid-execution — the generator is running when
+    ``kill`` tries to close it."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.steps = []
+
+    def behavior(self):
+        yield Delay(1.0)
+        self.steps.append(self.now)
+        self._sim.kill(self.name)
+        yield Delay(1.0)  # must never complete
+        self.steps.append(self.now)
+
+
+class TestKillTiming:
+    def test_self_kill_mid_execution(self):
+        sim = Simulator()
+        killer = SelfKiller("k")
+        handle = sim.register(killer)
+        sim.run()  # must not raise from generator.close()
+        assert killer.steps == [1.0]
+        assert handle.state is ProcessState.KILLED
+
+    def test_kill_at_exact_advance_instant(self):
+        # The kill callback and the ticker's resume share the instant
+        # t=5.0; the callback was scheduled first (smaller sequence
+        # number), so it fires first and the 5.0 wake must be dropped.
+        sim = Simulator()
+        ticker = Ticker("t", 1.0, 100)
+        sim.register(ticker)
+        sim.schedule(5.0, lambda: sim.kill("t"))
+        sim.run()
+        assert ticker.wakes == [1.0, 2.0, 3.0, 4.0]
+
+    def test_kill_parked_process(self):
+        from repro.kpn.channel import Fifo
+        from repro.kpn.tokens import Token
+
+        class BlockedWriter(Process):
+            def __init__(self, name, endpoint):
+                super().__init__(name)
+                self.endpoint = endpoint
+
+            def behavior(self):
+                yield Write(
+                    self.endpoint, Token(value=1, seqno=1, stamp=0.0)
+                )
+                yield Write(
+                    self.endpoint, Token(value=2, seqno=2, stamp=0.0)
+                )
+
+        sim = Simulator()
+        fifo = Fifo("f", 1)
+        fifo.bind(sim)
+        writer = BlockedWriter("w", fifo.writer)
+        handle = sim.register(writer)
+        sim.schedule(1.0, lambda: sim.kill("w"))
+        sim.run()
+        assert handle.state is ProcessState.KILLED
+        assert fifo.fill == 1  # second write never committed
+
+
+class TestRunStats:
+    def test_throughput_reported(self):
+        sim = Simulator()
+        sim.register(Ticker("t", 1.0, 50))
+        stats = sim.run()
+        assert stats.wall_time_s > 0.0
+        assert stats.events_per_sec > 0.0
+        # events/sec must be consistent with the other two fields.
+        assert stats.events_per_sec == pytest.approx(
+            stats.events / stats.wall_time_s
+        )
+
+
 class TestDeterminism:
     def test_identical_runs_identical_traces(self):
         def run_once():

@@ -1,0 +1,65 @@
+"""Cache-behaviour tests for the memoized curve operations."""
+
+from repro.rtc import clear_curve_op_caches, min_plus_convolution
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import size_duplicated_network
+
+
+PRODUCER = PJD(40.0, 4.0, 1.0)
+CONSUMER = PJD(40.0, 10.0, 1.0)
+REPLICAS = (PJD(40.0, 6.0, 1.0), PJD(40.0, 8.0, 1.0))
+
+
+class TestCurveIdentity:
+    def test_equal_pjds_share_curve_objects(self):
+        assert PJD(10.0, 1.0).upper() is PJD(10.0, 1.0).upper()
+        assert PJD(10.0, 1.0).lower() is PJD(10.0, 1.0).lower()
+
+    def test_distinct_pjds_get_distinct_curves(self):
+        assert PJD(10.0, 1.0).upper() is not PJD(10.0, 2.0).upper()
+
+
+class TestOperatorCache:
+    def test_cached_result_is_reused(self):
+        f = PJD(10.0, 2.0, 1.0).upper()
+        g = PJD(12.0, 1.0, 1.0).upper()
+        first = min_plus_convolution(f, g, horizon=100.0)
+        second = min_plus_convolution(f, g, horizon=100.0)
+        assert first is second
+
+    def test_horizon_is_part_of_the_key(self):
+        f = PJD(10.0, 2.0, 1.0).upper()
+        g = PJD(12.0, 1.0, 1.0).upper()
+        assert min_plus_convolution(f, g, horizon=100.0) is not (
+            min_plus_convolution(f, g, horizon=120.0)
+        )
+
+    def test_clear_curve_op_caches(self):
+        f = PJD(10.0, 2.0, 1.0).upper()
+        g = PJD(12.0, 1.0, 1.0).upper()
+        first = min_plus_convolution(f, g, horizon=100.0)
+        clear_curve_op_caches()
+        second = min_plus_convolution(f, g, horizon=100.0)
+        assert first is not second
+        assert first.value(55.0) == second.value(55.0)
+
+
+class TestSizingCache:
+    def test_cached_sizing_equal_but_fresh(self):
+        a = size_duplicated_network(PRODUCER, REPLICAS, REPLICAS, CONSUMER)
+        b = size_duplicated_network(PRODUCER, REPLICAS, REPLICAS, CONSUMER)
+        assert a is not b
+        assert a == b
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        a = size_duplicated_network(PRODUCER, REPLICAS, REPLICAS, CONSUMER)
+        a.details["corrupted"] = -1.0
+        b = size_duplicated_network(PRODUCER, REPLICAS, REPLICAS, CONSUMER)
+        assert "corrupted" not in b.details
+
+    def test_list_and_tuple_arguments_hit_the_same_entry(self):
+        a = size_duplicated_network(
+            PRODUCER, list(REPLICAS), list(REPLICAS), CONSUMER
+        )
+        b = size_duplicated_network(PRODUCER, REPLICAS, REPLICAS, CONSUMER)
+        assert a == b

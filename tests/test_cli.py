@@ -105,3 +105,12 @@ class TestReportCommand:
         assert code == 0
         assert "all verdicts hold: True" in capsys.readouterr().out
         assert "Table 2" in out.read_text()
+
+
+class TestRunCommand:
+    def test_prints_engine_summary(self, capsys):
+        assert main(["run", "--app", "adpcm", "--tokens", "60",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "tokens delivered" in out

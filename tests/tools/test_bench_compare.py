@@ -1,0 +1,121 @@
+"""Tests for the perf-regression harness."""
+
+import json
+
+import pytest
+
+from repro.tools.bench_compare import (
+    DEFAULT_THRESHOLD_PCT,
+    RESULTS_FILENAME,
+    BenchCompareError,
+    compare,
+    extract_results,
+    format_report,
+    load_db,
+    main,
+    save_db,
+    self_test,
+)
+
+
+def stats(min_s, mean_s=None, rounds=10):
+    return {"mean": mean_s if mean_s is not None else min_s * 1.1,
+            "min": min_s, "rounds": rounds}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        base = {"a": stats(1.0e-3)}
+        current = {"a": stats(1.10e-3)}
+        assert compare(base, current, DEFAULT_THRESHOLD_PCT) == []
+
+    def test_injected_regression_is_flagged(self):
+        base = {"a": stats(1.0e-3), "b": stats(2.0e-3)}
+        current = {"a": stats(1.5e-3), "b": stats(2.0e-3)}
+        regressions = compare(base, current, DEFAULT_THRESHOLD_PCT)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("a:")
+
+    def test_improvement_never_fails(self):
+        base = {"a": stats(2.0e-3)}
+        current = {"a": stats(0.5e-3)}
+        assert compare(base, current, DEFAULT_THRESHOLD_PCT) == []
+
+    def test_added_and_removed_benchmarks_do_not_fail(self):
+        base = {"retired": stats(1.0e-3)}
+        current = {"added": stats(9.0e-3)}
+        assert compare(base, current, DEFAULT_THRESHOLD_PCT) == []
+
+    def test_threshold_is_configurable(self):
+        base = {"a": stats(1.0e-3)}
+        current = {"a": stats(1.10e-3)}
+        assert compare(base, current, 5.0) != []
+        assert compare(base, current, 20.0) == []
+
+
+class TestSelfTest:
+    def test_self_test_passes(self):
+        assert self_test() == 0
+
+    def test_main_self_test_exit_code(self):
+        assert main(["--self-test"]) == 0
+
+
+class TestIO:
+    def test_extract_results(self):
+        doc = {
+            "benchmarks": [
+                {
+                    "name": "bench_x",
+                    "stats": {"mean": 2.0, "min": 1.0, "rounds": 7,
+                              "max": 3.0},
+                }
+            ]
+        }
+        assert extract_results(doc) == {
+            "bench_x": {"mean": 2.0, "min": 1.0, "rounds": 7}
+        }
+
+    def test_db_round_trip(self, tmp_path):
+        path = tmp_path / RESULTS_FILENAME
+        db = {"version": 1,
+              "baseline": {"label": "seed", "results": {"a": stats(1e-3)}},
+              "runs": []}
+        save_db(path, db)
+        assert load_db(path) == db
+
+    def test_load_missing_db_returns_none(self, tmp_path):
+        assert load_db(tmp_path / RESULTS_FILENAME) is None
+
+    def test_load_corrupt_db_raises(self, tmp_path):
+        path = tmp_path / RESULTS_FILENAME
+        path.write_text("{not json")
+        with pytest.raises(BenchCompareError):
+            load_db(path)
+
+    def test_main_without_benchmarks_is_usage_error(self, tmp_path):
+        assert main(["--repo-root", str(tmp_path)]) == 2
+
+    def test_format_report_marks_new_and_missing(self):
+        base = {"old": stats(1e-3)}
+        current = {"new": stats(2e-3)}
+        report = format_report(base, current)
+        assert "missing" in report
+        assert "new" in report
+
+
+class TestRepoTrajectory:
+    def test_committed_trajectory_is_well_formed(self):
+        """The in-repo BENCH_primitives.json must stay loadable and show
+        the simulator hot path at or better than the required speedup."""
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        db = json.loads((repo_root / RESULTS_FILENAME).read_text())
+        assert db["version"] == 1
+        assert db["baseline"]["label"] == "seed"
+        base = db["baseline"]["results"]["test_simulator_throughput"]
+        assert base["mean"] > 0
+        if db["runs"]:
+            latest = db["runs"][-1]["results"]["test_simulator_throughput"]
+            assert base["mean"] / latest["mean"] >= 1.5
