@@ -77,6 +77,33 @@ def test_simulator_throughput(benchmark):
     assert events > 1000
 
 
+def test_simulator_throughput_metrics_enabled(benchmark):
+    """The same pipeline with full telemetry attached — its delta against
+    ``test_simulator_throughput`` is the observability overhead."""
+    from repro.obs import Observability
+
+    def run_pipeline():
+        obs = Observability()
+        net = Network("bench-obs", metrics=obs.registry)
+        src = net.add_process(
+            PeriodicSource("P", PJD(1.0, 0.1, 1.0), 500, seed=1)
+        )
+        snk = net.add_process(
+            PeriodicConsumer("C", PJD(1.0, 0.1, 1.0), 500, seed=2,
+                             keep_values=False)
+        )
+        fifo = net.add_fifo("f", 8)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        sim = net.instantiate()
+        sim.set_transition_hook(obs.timeline.transition)
+        stats = sim.run()
+        return stats.events
+
+    events = benchmark(run_pipeline)
+    assert events > 1000
+
+
 def test_sizing_solver(benchmark):
     producer = PJD(30.0, 2.0, 30.0)
     replicas = [PJD(30.0, 5.0, 30.0), PJD(30.0, 30.0, 30.0)]

@@ -16,6 +16,15 @@ Commands
 ``run``
     Run one fault-free duplicated network and print the engine summary,
     including simulation throughput (events/sec).
+``report``
+    Run one (optionally fault-injected) scenario with full telemetry and
+    emit a run report: per-channel max fill vs theoretical capacity,
+    divergence headroom, detection latency vs the Eq. 8 bound, and
+    throughput.  ``--json`` writes the machine-readable report,
+    ``--trace-out`` a Chrome/Perfetto trace of the run.
+``reproduce``
+    Run the full evaluation (all apps, all tables) and write a markdown
+    reproduction report with pass/fail verdicts.
 """
 
 from __future__ import annotations
@@ -182,7 +191,7 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_reproduce(args) -> int:
     from repro.experiments.reproduce import reproduce_all
 
     result = reproduce_all(runs=args.runs, warmup_tokens=args.warmup,
@@ -190,6 +199,55 @@ def _cmd_report(args) -> int:
     print(f"report written to {args.output}")
     print(f"all verdicts hold: {result.all_verdicts_hold}")
     return 0 if result.all_verdicts_hold else 1
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.experiments.runner import fault_time_for, run_duplicated
+    from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+    from repro.obs import (
+        Observability,
+        build_run_report,
+        render_report,
+        validate_report,
+        write_chrome_trace,
+    )
+
+    app = _APPS[args.app](AppScale(), seed=args.seed)
+    sizing = app.sizing()
+    fault = None
+    if args.fault != "none":
+        kind = RATE_DEGRADE if args.fault == "rate-degrade" else FAIL_STOP
+        fault = FaultSpec(
+            replica=args.replica,
+            time=fault_time_for(app, args.warmup, phase=0.4),
+            kind=kind,
+            slowdown=args.slowdown,
+        )
+    tokens = args.warmup + args.drain
+    obs = Observability()
+    run = run_duplicated(app, tokens, args.seed, fault=fault,
+                         sizing=sizing, obs=obs)
+    report = build_run_report(run, sizing, app.name, tokens, args.seed,
+                              fault=fault)
+    validate_report(report)
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    if args.trace_out:
+        trace = write_chrome_trace(obs, args.trace_out)
+        print(f"Perfetto trace ({len(trace['traceEvents'])} events) "
+              f"written to {args.trace_out} — open at https://ui.perfetto.dev")
+
+    detection = report["detection"]
+    if detection["injected"] and not detection["detected"]:
+        return 1
+    if detection["within_bound"] is False:
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,13 +315,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export every channel as JSON instead")
     trace.set_defaults(func=_cmd_trace)
 
-    rep = sub.add_parser(
-        "report", help="run the full evaluation, write a markdown report"
+    reproduce = sub.add_parser(
+        "reproduce", help="run the full evaluation, write a markdown report"
     )
-    rep.add_argument("output", help="path of the markdown report")
-    rep.add_argument("--runs", type=int, default=20)
-    rep.add_argument("--warmup", type=int, default=150)
-    rep.add_argument("--seed", type=int, default=42)
+    reproduce.add_argument("output", help="path of the markdown report")
+    reproduce.add_argument("--runs", type=int, default=20)
+    reproduce.add_argument("--warmup", type=int, default=150)
+    reproduce.add_argument("--seed", type=int, default=42)
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    rep = sub.add_parser(
+        "report",
+        help="run one instrumented scenario, emit a telemetry run report",
+    )
+    rep.add_argument("--app", choices=sorted(_APPS), default="mjpeg")
+    rep.add_argument("--fault", default="fail-stop",
+                     choices=["fail-stop", "rate-degrade", "none"])
+    rep.add_argument("--replica", type=int, choices=[0, 1], default=0)
+    rep.add_argument("--slowdown", type=float, default=4.0,
+                     help="service-time factor for rate-degrade faults")
+    rep.add_argument("--warmup", type=int, default=80,
+                     help="tokens before the injection instant")
+    rep.add_argument("--drain", type=int, default=40,
+                     help="tokens after the injection instant")
+    rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument("--json", metavar="PATH",
+                     help="write the machine-readable report here")
+    rep.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome/Perfetto trace of the run here")
     rep.set_defaults(func=_cmd_report)
     return parser
 

@@ -62,6 +62,15 @@ class DetectionLog:
         """Register ``observer(report)`` to be called on each record."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer) -> None:
+        """Remove a previously subscribed observer.
+
+        Removes the first matching registration (observers may be
+        subscribed more than once); unknown observers raise
+        :class:`ValueError`, surfacing double-unsubscribe bugs early.
+        """
+        self._observers.remove(observer)
+
     def record(
         self,
         time: float,
@@ -70,11 +79,27 @@ class DetectionLog:
         mechanism: str,
         detail: str = "",
     ) -> FaultReport:
-        """Append and return a new report."""
+        """Append and return a new report, then notify observers in
+        subscription order.
+
+        A raising observer cannot suppress the others: the report is
+        appended before any observer runs, every observer fires exactly
+        once, and the first exception (if any) propagates afterwards —
+        so a broken coordinator never silently loses detections.
+        """
         report = FaultReport(time, site, replica, mechanism, detail)
         self.reports.append(report)
-        for observer in self._observers:
-            observer(report)
+        first_error: Optional[BaseException] = None
+        # Snapshot: an observer that (un)subscribes during notification
+        # must not change this report's delivery set.
+        for observer in tuple(self._observers):
+            try:
+                observer(report)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
         return report
 
     def first(

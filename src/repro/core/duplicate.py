@@ -184,6 +184,7 @@ def build_duplicated(
     strict_single_fault: bool = True,
     recorder: Optional[TraceRecorder] = None,
     selector_stall_detection: bool = True,
+    metrics=None,
 ) -> DuplicatedNetwork:
     """Assemble the duplicated network of Figure 1 (bottom).
 
@@ -191,9 +192,13 @@ def build_duplicated(
     capacities from Eq. 3/4, divergence thresholds from Eq. 5.
     ``replicator_divergence=False`` restricts the replicator to the
     occupancy-based detection only (the paper's primary mechanism there).
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) threads
+    live telemetry through the engine and all framework channels.
     """
     recorder = recorder or TraceRecorder()
-    net = Network(f"{blueprint.name}-duplicated", recorder=recorder)
+    net = Network(
+        f"{blueprint.name}-duplicated", recorder=recorder, metrics=metrics
+    )
     log = DetectionLog()
     replicator_ops = OpCounter()
     selector_ops = OpCounter()
@@ -212,6 +217,7 @@ def build_duplicated(
         detection_log=log,
         strict_single_fault=strict_single_fault,
         op_cost=replicator_ops.add,
+        metrics=metrics,
     )
     selector = SelectorChannel(
         "selector",
@@ -225,6 +231,7 @@ def build_duplicated(
         op_cost=selector_ops.add,
         priming_tokens=blueprint.priming_tokens(sizing.selector_priming),
         stall_detection=selector_stall_detection,
+        metrics=metrics,
     )
     net.add_channel(replicator)
     net.add_channel(selector)

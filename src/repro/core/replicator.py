@@ -70,6 +70,12 @@ class ReplicatorChannel:
         Optional callable invoked once per channel operation with the
         number of primitive counter updates performed; feeds the runtime
         overhead accounting of Table 2.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        enabled, every committed operation samples the live ``space_k``
+        levels (``chan.<name>.space_k``) and the consumption divergence
+        ``|reads_1 - reads_2|`` (``chan.<name>.divergence``) — the
+        quantity the Eq. 5 threshold ``D`` bounds at this channel.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class ReplicatorChannel:
         detection_log: Optional[DetectionLog] = None,
         strict_single_fault: bool = True,
         op_cost: Optional[Callable[[int], None]] = None,
+        metrics=None,
     ) -> None:
         if len(capacities) != 2:
             raise ValueError("replicator needs exactly two queue capacities")
@@ -98,6 +105,15 @@ class ReplicatorChannel:
         self.log = detection_log if detection_log is not None else DetectionLog()
         self.strict_single_fault = strict_single_fault
         self._op_cost = op_cost
+        if metrics is not None and metrics.enabled:
+            self._m_space = (
+                metrics.timeseries(f"chan.{name}.space_1"),
+                metrics.timeseries(f"chan.{name}.space_2"),
+            )
+            self._m_div = metrics.timeseries(f"chan.{name}.divergence")
+        else:
+            self._m_space = None
+            self._m_div = None
         self._queues: Tuple[Deque, Deque] = (deque(), deque())
         self.fault = [False, False]
         self.reads = [0, 0]
@@ -143,6 +159,12 @@ class ReplicatorChannel:
     def _charge(self, operations: int) -> None:
         if self._op_cost is not None:
             self._op_cost(operations)
+
+    def _sample(self, now: float) -> None:
+        """Record the live occupancy and divergence signals (cold path)."""
+        self._m_space[0].append(now, self.space(0))
+        self._m_space[1].append(now, self.space(1))
+        self._m_div.append(now, abs(self.reads[0] - self.reads[1]))
 
     def _flag(self, replica: int, mechanism: str, now: float, detail: str) -> None:
         if self.fault[replica]:
@@ -203,6 +225,8 @@ class ReplicatorChannel:
         self.reads[index] += 1
         if self.traces is not None:
             self.traces[index].on_read(now, token.seqno, index)
+        if self._m_div is not None:
+            self._sample(now)
         self._check_divergence(now)
         self._wake(self._parked_writers)
         return ("ok", token)
@@ -231,6 +255,8 @@ class ReplicatorChannel:
             if self.traces is not None:
                 self.traces[k].on_write(now, token.seqno, k)
         self.writes += 1
+        if self._m_div is not None:
+            self._sample(now)
         for k in targets:
             self._wake(self._parked_readers[k])
         return ("ok", None)

@@ -96,6 +96,15 @@ class SelectorChannel:
     stall_detection:
         Enable the ``space_k > |S_k|`` mechanism (default).  Ablation
         studies disable it to isolate the divergence mechanism.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        enabled, every committed operation samples the physical fill
+        (``chan.<name>.fill``), the virtual ``space_k`` levels
+        (``chan.<name>.space_k``), the live divergence
+        ``|writes_1 - writes_2|`` (``chan.<name>.divergence`` — the
+        Eq. 5 quantity) and, when a threshold is configured, the
+        remaining headroom ``D - divergence``
+        (``chan.<name>.headroom``).
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class SelectorChannel:
         op_cost: Optional[Callable[[int], None]] = None,
         priming_tokens: Tuple[Token, ...] = (),
         stall_detection: bool = True,
+        metrics=None,
     ) -> None:
         if len(capacities) != 2:
             raise ValueError("selector needs exactly two virtual capacities")
@@ -153,6 +163,25 @@ class SelectorChannel:
         self.writes = [0, 0]
         self.drops = [0, 0]
         self.reads = 0
+        if metrics is not None and metrics.enabled:
+            self._m_fill = metrics.timeseries(f"chan.{name}.fill")
+            self._m_space = (
+                metrics.timeseries(f"chan.{name}.space_1"),
+                metrics.timeseries(f"chan.{name}.space_2"),
+            )
+            self._m_div = metrics.timeseries(f"chan.{name}.divergence")
+            self._m_headroom = (
+                metrics.timeseries(f"chan.{name}.headroom")
+                if self.threshold is not None
+                else None
+            )
+            if self.priming:
+                self._m_fill.append(0.0, self.fill)
+        else:
+            self._m_fill = None
+            self._m_space = None
+            self._m_div = None
+            self._m_headroom = None
         self._pending_values: Dict[int, Any] = {}
         self._sim = None
         self._parked_reader: Deque = deque()
@@ -185,6 +214,16 @@ class SelectorChannel:
     def _charge(self, operations: int) -> None:
         if self._op_cost is not None:
             self._op_cost(operations)
+
+    def _sample(self, now: float) -> None:
+        """Record fill, spaces, divergence and headroom (cold path)."""
+        self._m_fill.append(now, self.fill)
+        self._m_space[0].append(now, self.space[0])
+        self._m_space[1].append(now, self.space[1])
+        gap = abs(self.writes[0] - self.writes[1])
+        self._m_div.append(now, gap)
+        if self._m_headroom is not None:
+            self._m_headroom.append(now, self.threshold - gap)
 
     def _flag(self, replica: int, mechanism: str, now: float, detail: str) -> None:
         if self.fault[replica]:
@@ -290,6 +329,8 @@ class SelectorChannel:
                 self.space[k] += 1
         if self.trace is not None:
             self.trace.on_read(now, token.seqno)
+        if self._m_fill is not None:
+            self._sample(now)
         self._check_stall(now)
         self._check_divergence(now)
         for k in (0, 1):
@@ -340,6 +381,8 @@ class SelectorChannel:
             if self.trace is not None:
                 self.trace.on_drop(now, token.seqno, index)
             self._verify_pair(token.seqno, token.value, now, index)
+        if self._m_fill is not None:
+            self._sample(now)
         self._check_divergence(now)
         return ("ok", None)
 

@@ -73,6 +73,10 @@ class DuplicatedRun:
     #: Engine-level summary of the run (event count, wall time,
     #: events/sec) — the in-band throughput signal the CLI surfaces.
     stats: Optional[RunStats] = None
+    #: The telemetry bundle passed in via ``obs=`` (``None`` when the run
+    #: was not observed) — registry + timeline, consumed by
+    #: :mod:`repro.obs.report` and :mod:`repro.obs.chrometrace`.
+    obs: Optional[Any] = field(repr=False, default=None)
 
     def detection_latency(self, site: Optional[str] = None
                           ) -> Optional[float]:
@@ -136,6 +140,7 @@ def run_duplicated(
     strict_single_fault: bool = True,
     selector_stall_detection: bool = True,
     transfer_latency: Optional[Callable] = None,
+    obs=None,
 ) -> DuplicatedRun:
     """Build and run the duplicated network to quiescence.
 
@@ -143,7 +148,10 @@ def run_duplicated(
     polling monitors that observe channel traces (requires
     ``record_events=True``).  ``transfer_latency`` optionally installs a
     communication-latency model (e.g. from the SCC layer) on the
-    framework channels.
+    framework channels.  ``obs`` (a
+    :class:`~repro.obs.timeline.Observability`) threads the metrics
+    registry through engine and channels, watches the detection log, and
+    captures the process timeline for trace export.
     """
     sizing = sizing or app.sizing()
     blueprint = app.blueprint(
@@ -154,6 +162,7 @@ def run_duplicated(
             blueprint, transfer_latency=transfer_latency
         )
     recorder = TraceRecorder(record_events=record_events)
+    metrics = obs.registry if obs is not None else None
     duplicated = build_duplicated(
         blueprint,
         sizing,
@@ -162,16 +171,22 @@ def run_duplicated(
         strict_single_fault=strict_single_fault,
         recorder=recorder,
         selector_stall_detection=selector_stall_detection,
+        metrics=metrics,
     )
     for monitor in monitors:
         duplicated.network.add_process(monitor)
     if monitor_factory is not None:
         for monitor in monitor_factory(duplicated, recorder):
             duplicated.network.add_process(monitor)
+    timeline = obs.timeline if obs is not None else None
+    if timeline is not None:
+        timeline.watch(duplicated.detection_log)
     sim = duplicated.network.instantiate()
+    if timeline is not None:
+        sim.set_transition_hook(timeline.transition)
     injector = None
     if fault is not None:
-        injector = FaultInjector(fault)
+        injector = FaultInjector(fault, timeline=timeline)
         injector.arm(sim, duplicated)
     stats = sim.run(max_events=tokens * MAX_EVENTS_PER_TOKEN)
 
@@ -210,4 +225,5 @@ def run_duplicated(
         overhead_selector=overhead_s,
         network=duplicated,
         stats=stats,
+        obs=obs,
     )

@@ -18,10 +18,17 @@ from repro.kpn.simulator import Simulator
 
 
 class FaultInjector:
-    """Arms one fault specification on one duplicated network run."""
+    """Arms one fault specification on one duplicated network run.
 
-    def __init__(self, spec: FaultSpec) -> None:
+    ``timeline`` optionally wires the injection instant into a
+    :class:`~repro.obs.timeline.RunTimeline`, which pairs it with the
+    resulting :class:`~repro.core.detection.FaultReport` to produce the
+    detection-latency histogram checked against the Eq. 8 bound.
+    """
+
+    def __init__(self, spec: FaultSpec, timeline=None) -> None:
         self.spec = spec
+        self.timeline = timeline
         self.injected_at: Optional[float] = None
 
     def arm(self, sim: Simulator, duplicated: DuplicatedNetwork) -> None:
@@ -31,6 +38,10 @@ class FaultInjector:
 
         def fire() -> None:
             self.injected_at = sim.now
+            if self.timeline is not None:
+                self.timeline.mark_injection(
+                    sim.now, self.spec.replica, self.spec.kind, tuple(names)
+                )
             if self.spec.kind == FAIL_STOP:
                 for name in names:
                     sim.kill(name)

@@ -74,6 +74,10 @@ class Fifo:
     initial_tokens:
         Tokens pre-filling the queue at time zero (the ``F_{C,0}`` /
         ``|S_k|_0`` priming of Eq. 4).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when enabled
+        the channel samples its fill level into the time series
+        ``chan.<name>.fill`` on every committed read and write.
     """
 
     def __init__(
@@ -83,6 +87,7 @@ class Fifo:
         transfer_latency: Optional[Callable[[Token], float]] = None,
         trace: Optional[ChannelTrace] = None,
         initial_tokens: Tuple[Token, ...] = (),
+        metrics=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -97,6 +102,12 @@ class Fifo:
         )
         if trace is not None and initial_tokens:
             trace.preset_fill(len(initial_tokens))
+        if metrics is not None and metrics.enabled:
+            self._m_fill = metrics.timeseries(f"chan.{name}.fill")
+            if initial_tokens:
+                self._m_fill.append(0.0, len(self._queue))
+        else:
+            self._m_fill = None
         self._sim = None
         self._parked_readers: Deque = deque()
         self._parked_writers: Deque = deque()
@@ -148,6 +159,8 @@ class Fifo:
         self._queue.popleft()
         if self.trace is not None:
             self.trace.on_read(now, token.seqno)
+        if self._m_fill is not None:
+            self._m_fill.append(now, len(self._queue))
         if self._parked_writers:
             self._wake(self._parked_writers)
         return ("ok", token)
@@ -161,6 +174,8 @@ class Fifo:
         self._queue.append((now + delay, token))
         if self.trace is not None:
             self.trace.on_write(now, token.seqno)
+        if self._m_fill is not None:
+            self._m_fill.append(now, len(self._queue))
         if self._parked_readers:
             self._wake(self._parked_readers)
         return ("ok", None)

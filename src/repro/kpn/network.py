@@ -22,9 +22,18 @@ from repro.kpn.trace import TraceRecorder
 class Network:
     """A named collection of processes and channels forming one graph."""
 
-    def __init__(self, name: str, recorder: Optional[TraceRecorder] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        recorder: Optional[TraceRecorder] = None,
+        metrics=None,
+    ) -> None:
         self.name = name
         self.recorder = recorder or TraceRecorder()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` threaded
+        #: into every FIFO built here and into the simulator at
+        #: instantiation time.
+        self.metrics = metrics
         self.processes: Dict[str, Process] = {}
         self.channels: Dict[str, object] = {}
 
@@ -51,6 +60,7 @@ class Network:
             transfer_latency=transfer_latency,
             trace=self.recorder.channel(name),
             initial_tokens=initial_tokens,
+            metrics=self.metrics,
         )
         return self.add_channel(fifo)
 
@@ -85,7 +95,7 @@ class Network:
     def instantiate(self, sim: Optional[Simulator] = None) -> Simulator:
         """Bind channels and register processes into a simulator."""
         self.validate()
-        sim = sim or Simulator()
+        sim = sim or Simulator(metrics=self.metrics)
         for channel in self.channels.values():
             channel.bind(sim)
         for process in self.processes.values():

@@ -68,6 +68,7 @@ class ProcessHandle:
         "pending_op",
         "wake_scheduled",
         "is_parked",
+        "block_start",
     )
 
     def __init__(self, name: str, generator, owner: Any = None) -> None:
@@ -83,6 +84,9 @@ class ProcessHandle:
         #: blocks on exactly one operation at a time, so a single flag
         #: replaces the per-channel ``handle in parked`` membership scans.
         self.is_parked = False
+        #: Virtual instant the current blocked span began (only maintained
+        #: while engine metrics are enabled; feeds ``sim.block_ms``).
+        self.block_start = 0.0
 
     @property
     def alive(self) -> bool:
@@ -168,7 +172,7 @@ class Simulator:
         stats = sim.run(until=10_000.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Any = None) -> None:
         self._heap: List[Tuple[float, int, Any]] = []
         #: Direct-handoff run queue: ``(time, sequence, handle)`` wakes at
         #: the current instant, FIFO in sequence order.
@@ -177,6 +181,47 @@ class Simulator:
         self._now = 0.0
         self._handles: Dict[str, ProcessHandle] = {}
         self._event_count = 0
+        #: Optional telemetry (see :mod:`repro.obs`).  Instruments are
+        #: created eagerly here so the hot paths only test ``is not None``
+        #: — a disabled (or absent) registry costs one pointer check per
+        #: sample site and nothing per event.
+        self._metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        if self._metrics is not None:
+            self._m_events = self._metrics.counter("sim.events")
+            self._m_heap_events = self._metrics.counter("sim.heap_events")
+            self._m_runq_wakes = self._metrics.counter("sim.runq_wakes")
+            self._m_parks = self._metrics.counter("sim.parks")
+            self._m_wakes = self._metrics.counter("sim.wakes_requested")
+            self._m_block = self._metrics.histogram("sim.block_ms")
+        else:
+            self._m_parks = None
+            self._m_wakes = None
+            self._m_block = None
+        #: Optional transition hook ``f(time, process, kind, detail)``
+        #: feeding a :class:`repro.obs.timeline.RunTimeline`.
+        self._hook: Optional[Callable[[float, str, str, Any], None]] = None
+        #: Combined "any per-transition observer active" flag: the hot
+        #: paths test this single attribute and only then take the cold
+        #: ``_note_*`` calls.
+        self._observed = self._m_block is not None
+
+    # -- observability ------------------------------------------------------
+
+    def set_transition_hook(
+        self, hook: Optional[Callable[[float, str, str, Any], None]]
+    ) -> None:
+        """Install (or clear) the process-transition observer.
+
+        ``hook(time, process_name, kind, detail)`` fires on every process
+        lifecycle edge: ``start``, ``compute`` (detail = delay ms),
+        ``block_read`` / ``block_write`` (detail = channel name),
+        ``resume``, ``done`` and ``killed``.  The hook must only record —
+        mutating engine state from it is undefined behaviour.
+        """
+        self._hook = hook
+        self._observed = hook is not None or self._m_block is not None
 
     # -- time and scheduling ----------------------------------------------
 
@@ -247,6 +292,8 @@ class Simulator:
         if handle.state is ProcessState.DONE:
             return
         handle.state = ProcessState.KILLED
+        if self._hook is not None:
+            self._hook(self._now, name, "killed", None)
         try:
             handle.generator.close()
         except (RuntimeError, ValueError):
@@ -288,6 +335,7 @@ class Simulator:
         time_limit = float("inf") if until is None else until
         event_limit = -1 if max_events is None else max_events
         events = 0
+        runq_fired = 0
         started = perf_counter()
         try:
             while heap or runq:
@@ -320,6 +368,7 @@ class Simulator:
                 if from_runq:
                     # Direct-handoff wake, inlined from _fire_wake.
                     runq.popleft()
+                    runq_fired += 1
                     handle = entry[2]
                     handle.wake_scheduled = False
                     operation = handle.pending_op
@@ -340,6 +389,10 @@ class Simulator:
                     break
         finally:
             self._event_count += events
+            if self._metrics is not None:
+                self._m_events.inc(events)
+                self._m_runq_wakes.inc(runq_fired)
+                self._m_heap_events.inc(events - runq_fired)
         stats.events = events
         stats.wall_time_s = perf_counter() - started
         if stats.wall_time_s > 0:
@@ -376,6 +429,8 @@ class Simulator:
         handle = event.handle
         if handle.state is ProcessState.KILLED:
             return
+        if self._hook is not None:
+            self._hook(self._now, handle.name, "start", None)
         self._advance(handle, None)
 
     def _fire_resume(self, event: ResumeEvent) -> None:
@@ -395,7 +450,12 @@ class Simulator:
             self._reattempt(handle, operation)
 
     def _reattempt(self, handle: ProcessHandle, operation: Operation) -> None:
-        """Re-poll a blocked operation; resume the process on success."""
+        """Re-poll a blocked operation; resume the process on success.
+
+        Re-blocking (status still ``empty``/``full``/``wait``) does not
+        re-emit a block transition or restart the blocked-span clock: the
+        process never unblocked, it was merely re-polled.
+        """
         state = handle.state
         if state is _DONE or state is _KILLED:
             return
@@ -406,6 +466,8 @@ class Simulator:
                 endpoint.index, self._now
             )
             if status == "ok":
+                if self._observed:
+                    self._note_resume(handle)
                 self._advance(handle, payload)
             elif status == "wait":
                 handle.state = ProcessState.BLOCKED_READ
@@ -422,6 +484,8 @@ class Simulator:
                 endpoint.index, operation.token, self._now
             )
             if status == "ok":
+                if self._observed:
+                    self._note_resume(handle)
                 self._advance(handle, None)
             elif status == "full":
                 handle.state = ProcessState.BLOCKED_WRITE
@@ -429,6 +493,23 @@ class Simulator:
                 endpoint.channel.park_writer(endpoint.index, handle)
             else:  # pragma: no cover - channel contract violation
                 raise ProtocolError(f"bad poll_write status {status!r}")
+
+    def _note_resume(self, handle: ProcessHandle) -> None:
+        """Telemetry for a blocked operation completing (cold path)."""
+        if self._hook is not None:
+            self._hook(self._now, handle.name, "resume", None)
+        if self._m_block is not None:
+            self._m_block.observe(self._now - handle.block_start)
+
+    def _note_block(
+        self, handle: ProcessHandle, kind: str, channel_name: str
+    ) -> None:
+        """Telemetry for a process entering a blocked state (cold path)."""
+        if self._hook is not None:
+            self._hook(self._now, handle.name, kind, channel_name)
+        if self._m_block is not None:
+            handle.block_start = self._now
+            self._m_parks.inc()
 
     # -- process driving ------------------------------------------------------
 
@@ -448,12 +529,15 @@ class Simulator:
         generator_send = handle.generator.send
         running = _RUNNING
         killed = _KILLED
+        observed = self._observed
         while True:
             handle.state = running
             try:
                 operation = generator_send(value)
             except StopIteration:
                 handle.state = _DONE
+                if observed and self._hook is not None:
+                    self._hook(self._now, handle.name, "done", None)
                 return
             if handle.state is killed:
                 # Killed from inside its own advancement (self-kill
@@ -470,6 +554,10 @@ class Simulator:
                     continue
                 handle.state = ProcessState.BLOCKED_READ
                 handle.pending_op = operation
+                if observed:
+                    self._note_block(
+                        handle, "block_read", endpoint.channel.name
+                    )
                 if status == "wait":
                     self._push_event(payload, RetryEvent(handle, operation))
                 elif status == "empty":
@@ -488,6 +576,10 @@ class Simulator:
                 if status == "full":
                     handle.state = ProcessState.BLOCKED_WRITE
                     handle.pending_op = operation
+                    if observed:
+                        self._note_block(
+                            handle, "block_write", endpoint.channel.name
+                        )
                     endpoint.channel.park_writer(endpoint.index, handle)
                 else:  # pragma: no cover - channel contract violation
                     raise ProtocolError(f"bad poll_write status {status!r}")
@@ -498,6 +590,10 @@ class Simulator:
                 # the current one — no past-scheduling check needed.
                 handle.state = ProcessState.DELAYED
                 handle.pending_op = operation
+                if observed and self._hook is not None:
+                    self._hook(
+                        self._now, handle.name, "compute", operation.duration
+                    )
                 self._sequence += 1
                 heapq.heappush(
                     self._heap,
@@ -511,6 +607,8 @@ class Simulator:
             if cls is Halt:
                 handle.state = _DONE
                 handle.generator.close()
+                if observed and self._hook is not None:
+                    self._hook(self._now, handle.name, "done", None)
                 return
             raise ProtocolError(
                 f"process {handle.name} yielded unknown operation "
@@ -536,6 +634,8 @@ class Simulator:
         ):
             return
         handle.wake_scheduled = True
+        if self._m_wakes is not None:
+            self._m_wakes.inc()
         self._sequence += 1
         self._runq.append((self._now, self._sequence, handle))
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.kpn.errors import TraceError
+
 
 @dataclass
 class EventRecord:
@@ -57,7 +59,18 @@ class ChannelTrace:
             self.events.append(EventRecord(time, "write", seqno, interface))
 
     def on_read(self, time: float, seqno: int, interface: int = 0) -> None:
-        """Record a token leaving the queue."""
+        """Record a token leaving the queue.
+
+        A read against a zero-fill trace means the caller's accounting is
+        broken (a read committed without its write being traced, or
+        priming tokens not declared via :meth:`preset_fill`) — fail loudly
+        instead of going negative and corrupting ``max_fill`` forever.
+        """
+        if self.fill <= 0:
+            raise TraceError(
+                f"channel {self.name!r}: read at t={time} (seqno {seqno}) "
+                f"recorded against fill {self.fill}"
+            )
         self.fill -= 1
         self.reads += 1
         if self.record_events:

@@ -47,12 +47,20 @@ def save_recorder(recorder: TraceRecorder, path: str) -> None:
 
 
 def load_recorder(path: str) -> TraceRecorder:
-    """Load traces saved by :func:`save_recorder`."""
+    """Load traces saved by :func:`save_recorder`.
+
+    The ``writes`` / ``reads`` / ``drops`` counters are not serialised
+    (the format stores only the event lists) — they are re-derived here by
+    counting event kinds, so a loaded recorder answers the same counter
+    queries as the live one it was saved from.
+    """
     with open(path) as handle:
         data = json.load(handle)
     if data.get("version") != FORMAT_VERSION:
         raise ValueError(
-            f"unsupported trace file version: {data.get('version')!r}"
+            f"{path}: unsupported trace file version "
+            f"{data.get('version')!r} (this build reads version "
+            f"{FORMAT_VERSION})"
         )
     recorder = TraceRecorder(record_events=True)
     for name, channel in data["channels"].items():
@@ -67,6 +75,13 @@ def load_recorder(path: str) -> TraceRecorder:
                     interface=event["interface"],
                 )
             )
+        for event in trace.events:
+            if event.kind == "write":
+                trace.writes += 1
+            elif event.kind == "read":
+                trace.reads += 1
+            elif event.kind == "drop":
+                trace.drops += 1
     return recorder
 
 

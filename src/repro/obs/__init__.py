@@ -1,0 +1,61 @@
+"""Unified telemetry layer: metrics, run timeline, trace export, reports.
+
+The package is organised as two halves plus two consumers:
+
+* :mod:`repro.obs.metrics` — aggregate instruments (counters, gauges,
+  histograms, time series) behind a :class:`MetricsRegistry` that is free
+  when disabled;
+* :mod:`repro.obs.timeline` — the event-shaped record of one run
+  (process transitions, fault injections, detections) plus the
+  :class:`Observability` bundle runs are observed through;
+* :mod:`repro.obs.chrometrace` — Chrome-trace-event (Perfetto) export;
+* :mod:`repro.obs.report` — the ``repro report`` run-report builder.
+"""
+
+from repro.obs.metrics import (
+    DISABLED,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.timeline import (
+    InjectionMark,
+    Observability,
+    RunTimeline,
+    Transition,
+)
+from repro.obs.chrometrace import (
+    build_chrome_trace,
+    build_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    SCHEMA_ID,
+    build_run_report,
+    render_report,
+    validate_report,
+)
+
+__all__ = [
+    "DISABLED",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "InjectionMark",
+    "Observability",
+    "RunTimeline",
+    "Transition",
+    "build_chrome_trace",
+    "build_trace_events",
+    "write_chrome_trace",
+    "REPORT_SCHEMA",
+    "SCHEMA_ID",
+    "build_run_report",
+    "render_report",
+    "validate_report",
+]

@@ -1,0 +1,322 @@
+"""The metrics registry: counters, gauges, histograms, time series.
+
+The paper's detection story is *observability by construction*: faults
+surface as FIFO occupancy (``space_k == 0``, Eq. 3) and divergence
+``|space_1 - space_2|`` crossing the threshold ``D`` (Eq. 5).  This module
+provides the in-band instruments the engine and the framework channels use
+to expose those quantities while a run executes — without perturbing it.
+
+Design constraints (both load-bearing):
+
+* **Determinism** — instruments only *record*; they never touch simulator
+  state, so an instrumented run fires the exact same event sequence as an
+  uninstrumented one (checked byte-for-byte against the golden traces).
+* **Disabled means free** — the hot path must pay ~nothing when metrics
+  are off.  Instrumented code therefore holds either a live instrument or
+  ``None`` and guards each sample with one ``is not None`` check (the same
+  idiom as the existing ``ChannelTrace`` hooks).  A disabled registry
+  hands out shared no-op instruments so *optional* instrumentation can
+  also be written unconditionally against the registry API.
+
+Typical use::
+
+    registry = MetricsRegistry()
+    sim = Simulator(metrics=registry)
+    ... run ...
+    registry.snapshot()      # plain-data dump for reports / JSON
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value with running min/max."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+#: Default histogram bucket upper bounds (ms-scale quantities).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max.
+
+    Buckets are upper bounds; observations beyond the last bound land in
+    an implicit overflow bucket.  Mean/extrema are exact regardless of
+    bucketing, so detection-latency statistics stay precise.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # bisect_left: a value equal to a bound belongs to that bound's
+        # bucket (Prometheus-style inclusive "le" upper bounds).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.counts)
+            ]
+            + [{"le": None, "count": self.counts[-1]}],
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class TimeSeries:
+    """A ``(virtual time, value)`` sample stream with running extrema.
+
+    Samples are appended in virtual-time order by construction (channels
+    sample at the event that changed their state).  ``max_samples`` bounds
+    memory on very long runs: when exceeded, every other retained sample
+    is dropped and the stride doubles — peak/valley are tracked exactly
+    either way, so Table-2-style maxima never decimate away.
+    """
+
+    __slots__ = ("name", "times", "values", "max_samples", "_stride",
+                 "_skip", "count", "min", "max", "last")
+
+    kind = "timeseries"
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.max_samples = max_samples
+        self._stride = 1
+        self._skip = 0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def append(self, time: float, value: float) -> None:
+        self.count += 1
+        self.last = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self.times.append(time)
+        self.values.append(value)
+        if len(self.times) >= self.max_samples:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self._stride *= 2
+
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+            "retained": len(self.times),
+        }
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name}, n={self.count})"
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = "<disabled>"
+    value = 0
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def append(self, time: float, value: float) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind}
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments for one run.
+
+    Instrument factories are get-or-create: asking twice for the same name
+    returns the same object (a name collision across instrument kinds is
+    an error).  A registry constructed with ``enabled=False`` — or the
+    module-level :data:`DISABLED` singleton — hands out a shared no-op
+    instrument and reports ``enabled = False``, which instrumented
+    components use to skip creating (and guarding) per-sample hooks
+    entirely.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    # -- factories ----------------------------------------------------------
+
+    def _get_or_create(self, name: str, cls, *args):
+        if not self.enabled:
+            return _NULL
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def timeseries(self, name: str, max_samples: int = 100_000) -> TimeSeries:
+        return self._get_or_create(name, TimeSeries, max_samples)
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data dump of every instrument (JSON-serialisable)."""
+        return {
+            name: self._instruments[name].as_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, {len(self._instruments)} metrics)"
+
+
+#: Shared always-disabled registry: pass where a registry is required but
+#: instrumentation must stay off (the no-op default of the hot paths).
+DISABLED = MetricsRegistry(enabled=False)

@@ -48,3 +48,69 @@ class TestDetectionLog:
         report = FaultReport(1.0, "selector", 0, "stall")
         with pytest.raises(dataclasses.FrozenInstanceError):
             report.time = 2.0
+
+
+class TestObservers:
+    def test_observers_fire_in_subscription_order(self):
+        log = DetectionLog()
+        order = []
+        log.subscribe(lambda r: order.append("first"))
+        log.subscribe(lambda r: order.append("second"))
+        log.subscribe(lambda r: order.append("third"))
+        log.record(1.0, "selector", 0, "stall")
+        assert order == ["first", "second", "third"]
+
+    def test_unsubscribe_stops_delivery(self):
+        log = DetectionLog()
+        seen = []
+        observer = seen.append
+        log.subscribe(observer)
+        log.record(1.0, "selector", 0, "stall")
+        log.unsubscribe(observer)
+        log.record(2.0, "selector", 1, "stall")
+        assert len(seen) == 1
+
+    def test_unsubscribe_unknown_observer_raises(self):
+        import pytest
+        log = DetectionLog()
+        with pytest.raises(ValueError):
+            log.unsubscribe(lambda r: None)
+
+    def test_raising_observer_does_not_suppress_others(self):
+        import pytest
+        log = DetectionLog()
+        seen = []
+
+        def broken(report):
+            raise RuntimeError("coordinator crashed")
+
+        log.subscribe(broken)
+        log.subscribe(seen.append)
+        with pytest.raises(RuntimeError, match="coordinator crashed"):
+            log.record(1.0, "selector", 0, "stall")
+        # The later observer still fired and the report was appended.
+        assert len(seen) == 1
+        assert len(log) == 1
+
+    def test_first_of_multiple_errors_propagates(self):
+        import pytest
+        log = DetectionLog()
+        log.subscribe(lambda r: (_ for _ in ()).throw(KeyError("a")))
+        log.subscribe(lambda r: (_ for _ in ()).throw(RuntimeError("b")))
+        with pytest.raises(KeyError):
+            log.record(1.0, "selector", 0, "stall")
+
+    def test_observer_subscribing_during_notify_not_called_for_same_report(
+        self,
+    ):
+        log = DetectionLog()
+        late = []
+
+        def recursive(report):
+            log.subscribe(late.append)
+
+        log.subscribe(recursive)
+        log.record(1.0, "selector", 0, "stall")
+        assert late == []  # joined after the snapshot
+        log.record(2.0, "selector", 0, "stall")
+        assert len(late) == 1

@@ -67,11 +67,11 @@ def _scenarios():
     }
 
 
-def _trace_bytes(builder) -> bytes:
+def _trace_bytes(builder, obs=None) -> bytes:
     """Run one scenario and serialise its traces canonically."""
     app, tokens, seed, fault = builder()
     run = run_duplicated(app, tokens, seed, fault=fault,
-                         sizing=app.sizing(), record_events=True)
+                         sizing=app.sizing(), record_events=True, obs=obs)
     payload = recorder_to_dict(run.network.network.recorder)
     # Canonical form: sorted keys, repr-exact floats, no whitespace
     # variation — byte-identity then means event-stream identity.
@@ -91,6 +91,26 @@ def test_traces_match_seed_engine(name):
     assert _trace_bytes(_scenarios()[name]) == golden, (
         f"scenario {name}: engine produced a different event stream than "
         "the seed engine — determinism regression"
+    )
+
+
+@pytest.mark.parametrize("enabled", [False, True],
+                         ids=["disabled-registry", "enabled-registry"])
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_telemetry_does_not_perturb_traces(name, enabled):
+    """Observation is read-only: running a scenario with the telemetry
+    layer attached — disabled registry or full metrics + transition hook +
+    timeline — must reproduce the golden event stream byte-for-byte."""
+    from repro.obs import DISABLED, Observability
+
+    golden_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    with open(golden_path, "rb") as handle:
+        golden = handle.read()
+    obs = Observability() if enabled else Observability(registry=DISABLED)
+    assert _trace_bytes(_scenarios()[name], obs=obs) == golden, (
+        f"scenario {name}: telemetry "
+        f"({'enabled' if enabled else 'disabled'} registry) perturbed the "
+        "event stream"
     )
 
 

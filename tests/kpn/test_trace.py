@@ -1,5 +1,8 @@
 """Tests for channel tracing."""
 
+import pytest
+
+from repro.kpn.errors import TraceError
 from repro.kpn.trace import ChannelTrace, TraceRecorder
 
 
@@ -33,6 +36,30 @@ class TestChannelTrace:
         trace.on_drop(2.0, 2, interface=1)
         assert [e.kind for e in trace.events] == ["write", "read", "drop"]
         assert trace.drops == 1
+
+    def test_read_against_empty_queue_raises(self):
+        trace = ChannelTrace("framebuf")
+        with pytest.raises(TraceError, match="framebuf"):
+            trace.on_read(1.0, 1)
+        # The failed read must not corrupt the counters.
+        assert trace.fill == 0
+        assert trace.reads == 0
+
+    def test_read_never_drives_fill_negative(self):
+        trace = ChannelTrace("c")
+        trace.on_write(0.0, 1)
+        trace.on_read(1.0, 1)
+        with pytest.raises(TraceError):
+            trace.on_read(2.0, 2)
+        assert trace.fill == 0
+
+    def test_preset_fill_enables_reads(self):
+        trace = ChannelTrace("c")
+        trace.preset_fill(2)
+        trace.on_read(0.0, 1)
+        trace.on_read(1.0, 2)
+        assert trace.fill == 0
+        assert trace.reads == 2
 
     def test_time_filters(self):
         trace = ChannelTrace("c", record_events=True)

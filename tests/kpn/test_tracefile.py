@@ -38,13 +38,31 @@ class TestRoundTrip:
         ]
         assert loaded["ch"].max_fill == recorder["ch"].max_fill
 
+    def test_roundtrip_restores_counters(self, recorder, tmp_path):
+        """Counters are not serialised; the loader re-derives them from
+        the event kinds — including drops and non-zero interfaces."""
+        path = tmp_path / "trace.json"
+        save_recorder(recorder, str(path))
+        loaded = load_recorder(str(path))
+        original = recorder["ch"]
+        restored = loaded["ch"]
+        assert restored.writes == original.writes == 2
+        assert restored.reads == original.reads == 1
+        assert restored.drops == original.drops == 1
+        # Drop events keep their interface index through the round trip.
+        drops = [e for e in restored.events if e.kind == "drop"]
+        assert [(e.seqno, e.interface) for e in drops] == [(2, 1)]
+
     def test_version_check(self, recorder, tmp_path):
         path = tmp_path / "trace.json"
         data = recorder_to_dict(recorder)
         data["version"] = 999
         path.write_text(__import__("json").dumps(data))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             load_recorder(str(path))
+        # The error names the offending file and both versions.
+        assert str(path) in str(excinfo.value)
+        assert "999" in str(excinfo.value)
 
     def test_timestamp_file_roundtrip(self, tmp_path):
         path = tmp_path / "stamps.txt"

@@ -1,0 +1,131 @@
+"""Tests for the run-report builder, schema and renderer."""
+
+import json
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.faults.models import FAIL_STOP, FaultSpec
+from repro.obs import (
+    Observability,
+    SCHEMA_ID,
+    build_run_report,
+    render_report,
+    validate_report,
+)
+
+
+@pytest.fixture(scope="module")
+def faulted_report():
+    app = SyntheticApp(seed=11)
+    sizing = app.sizing()
+    warmup = 30
+    fault = FaultSpec(replica=0,
+                      time=fault_time_for(app, warmup, phase=0.4),
+                      kind=FAIL_STOP)
+    obs = Observability()
+    run = run_duplicated(app, warmup + 30, 11, fault=fault,
+                         sizing=sizing, obs=obs)
+    return build_run_report(run, sizing, app.name, warmup + 30, 11,
+                            fault=fault)
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    app = SyntheticApp(seed=4)
+    sizing = app.sizing()
+    obs = Observability()
+    run = run_duplicated(app, 40, 4, sizing=sizing, obs=obs)
+    return build_run_report(run, sizing, app.name, 40, 4)
+
+
+class TestBuildRunReport:
+    def test_validates_against_schema(self, faulted_report, clean_report):
+        validate_report(faulted_report)
+        validate_report(clean_report)
+
+    def test_is_json_serialisable(self, faulted_report):
+        json.dumps(faulted_report)
+
+    def test_framework_channels_use_sizing_capacities(self, faulted_report):
+        channels = {c["name"]: c for c in faulted_report["channels"]}
+        assert channels["replicator.R1"]["capacity"] >= 1
+        assert channels["selector.S"]["capacity"] >= 1
+        for chan in channels.values():
+            if chan["within_capacity"] is not None:
+                assert chan["max_fill"] <= chan["capacity"]
+
+    def test_divergence_headroom_is_fault_free(self, faulted_report):
+        for entry in faulted_report["divergence"]:
+            assert entry["peak"] is not None
+            # Pre-injection peaks must respect the zero-false-positive
+            # guarantee of Eq. 5 (D strictly exceeds fault-free peaks).
+            assert entry["peak"] < entry["threshold"]
+            assert entry["headroom"] == entry["threshold"] - entry["peak"]
+
+    def test_detection_within_bound(self, faulted_report):
+        det = faulted_report["detection"]
+        assert det["injected"] and det["detected"]
+        assert det["latency_ms"] >= 0.0
+        assert det["bound_ms"] > 0.0
+        assert det["within_bound"] is True
+        assert det["site"] in ("replicator", "selector")
+
+    def test_clean_run_has_no_detection(self, clean_report):
+        det = clean_report["detection"]
+        assert det["injected"] is False
+        assert det["detected"] is False
+        assert det["latency_ms"] is None
+        assert clean_report["meta"]["fault"] is None
+
+    def test_metrics_snapshot_embedded(self, faulted_report):
+        assert "sim.events" in faulted_report["metrics"]
+        assert faulted_report["metrics"]["sim.events"]["value"] > 0
+
+    def test_unobserved_run_still_reports(self):
+        app = SyntheticApp(seed=2)
+        sizing = app.sizing()
+        run = run_duplicated(app, 30, 2, sizing=sizing)
+        report = build_run_report(run, sizing, app.name, 30, 2)
+        validate_report(report)
+        assert report["metrics"] == {}
+        assert all(d["peak"] is None for d in report["divergence"])
+
+
+class TestValidateReport:
+    def test_schema_id_checked(self, clean_report):
+        bad = dict(clean_report, schema="other/9")
+        with pytest.raises(ValueError, match=SCHEMA_ID.replace("/", "/")):
+            validate_report(bad)
+
+    def test_missing_key_named_in_error(self, clean_report):
+        bad = json.loads(json.dumps(clean_report))
+        del bad["throughput"]["events"]
+        with pytest.raises(ValueError, match="throughput.events"):
+            validate_report(bad)
+
+    def test_wrong_type_named_in_error(self, clean_report):
+        bad = json.loads(json.dumps(clean_report))
+        bad["channels"][0]["max_fill"] = "lots"
+        with pytest.raises(ValueError, match=r"channels\[0\].max_fill"):
+            validate_report(bad)
+
+    def test_bool_does_not_satisfy_int(self, clean_report):
+        bad = json.loads(json.dumps(clean_report))
+        bad["meta"]["tokens"] = True
+        with pytest.raises(ValueError, match="meta.tokens"):
+            validate_report(bad)
+
+
+class TestRenderReport:
+    def test_mentions_key_sections(self, faulted_report):
+        text = render_report(faulted_report)
+        assert "Channel fill vs theoretical capacity" in text
+        assert "Divergence headroom" in text
+        assert "within bound" in text
+
+    def test_clean_run_rendering(self, clean_report):
+        text = render_report(clean_report)
+        assert "fault=none" in text
+        assert "no fault injected" in text

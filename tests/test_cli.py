@@ -98,13 +98,57 @@ class TestParser:
             build_parser().parse_args([])
 
 
-class TestReportCommand:
+class TestReproduceCommand:
     def test_writes_markdown_and_exits_zero(self, tmp_path, capsys):
         out = tmp_path / "report.md"
-        code = main(["report", str(out), "--runs", "2", "--warmup", "40"])
+        code = main(["reproduce", str(out), "--runs", "2",
+                     "--warmup", "40"])
         assert code == 0
         assert "all verdicts hold: True" in capsys.readouterr().out
         assert "Table 2" in out.read_text()
+
+
+class TestReportCommand:
+    def test_mjpeg_failstop_within_bound(self, capsys):
+        code = main(["report", "--app", "mjpeg", "--fault", "fail-stop",
+                     "--warmup", "50", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault=fail-stop -> replica 1" in out
+        assert "within bound" in out
+        assert "Divergence headroom" in out
+
+    def test_json_output_validates(self, tmp_path):
+        import json
+
+        from repro.obs import validate_report
+
+        out = tmp_path / "run.json"
+        code = main(["report", "--app", "adpcm", "--warmup", "50",
+                     "--json", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        validate_report(report)
+        assert report["meta"]["app"] == "adpcm"
+        assert report["detection"]["within_bound"] is True
+
+    def test_trace_out_is_loadable_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(["report", "--warmup", "50", "--trace-out", str(out)])
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out.lower()
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"X", "C", "i", "M"} <= phases
+
+    def test_fault_free_run(self, capsys):
+        code = main(["report", "--app", "adpcm", "--fault", "none",
+                     "--warmup", "30"])
+        assert code == 0
+        assert "no fault injected" in capsys.readouterr().out
 
 
 class TestRunCommand:
