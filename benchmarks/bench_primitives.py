@@ -116,6 +116,52 @@ def test_sizing_solver(benchmark):
     assert sizing.replicator_capacities == (2, 3)
 
 
+def test_sweep_throughput(benchmark):
+    """Tasks per second of a serial sweep through the executor.
+
+    Measures the executor's own dispatch overhead on top of the raw
+    runs: specs are prebuilt (with pre-solved sizing) so each round
+    times execution only.
+    """
+    from repro.apps.synthetic import SyntheticApp
+    from repro.exec import run_sweep, TaskSpec
+
+    app = SyntheticApp.bursty(seed=3)
+    sizing = app.sizing()
+    specs = [
+        TaskSpec.reference(app, 30, seed, sizing=sizing)
+        for seed in range(1, 7)
+    ]
+
+    results = benchmark(run_sweep, specs)
+    assert all(r.ok for r in results)
+
+
+def test_sweep_throughput_jobs2(benchmark):
+    """The same sweep fanned out over two worker processes.
+
+    On a multi-core host the delta against ``test_sweep_throughput`` is
+    the pool's win; on a single-core CI runner it reports the fork/IPC
+    overhead instead.  Pool startup dominates tiny sweeps, so rounds
+    are pinned low and pedantic.
+    """
+    from repro.apps.synthetic import SyntheticApp
+    from repro.exec import run_sweep, TaskSpec
+
+    app = SyntheticApp.bursty(seed=3)
+    sizing = app.sizing()
+    specs = [
+        TaskSpec.reference(app, 30, seed, sizing=sizing)
+        for seed in range(1, 7)
+    ]
+
+    results = benchmark.pedantic(
+        run_sweep, args=(specs,), kwargs={"jobs": 2}, rounds=5,
+        iterations=1, warmup_rounds=1,
+    )
+    assert all(r.ok for r in results)
+
+
 def test_jpeg_decode_throughput(benchmark):
     codec = JpegCodec(75)
     frame = SyntheticVideo(96, 72, seed=0).frame(0)

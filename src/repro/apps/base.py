@@ -57,6 +57,9 @@ class StreamingApplication:
     """
 
     name: str = "app"
+    #: True on copies produced by :meth:`minimized` — lets a run
+    #: description (:mod:`repro.exec.taskspec`) reconstruct the app.
+    is_minimized: bool = False
     producer_model: PJD
     consumer_model: PJD
     replica_input_models: List[PJD]
@@ -92,6 +95,7 @@ class StreamingApplication:
         clone.replica_output_models = [
             m.minimized() for m in self.replica_output_models
         ]
+        clone.is_minimized = True
         return clone
 
     @property

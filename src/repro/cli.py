@@ -25,6 +25,11 @@ Commands
 ``reproduce``
     Run the full evaluation (all apps, all tables) and write a markdown
     reproduction report with pass/fail verdicts.
+
+``tables`` and ``reproduce`` drive their sweeps through the
+:mod:`repro.exec` executor: ``--jobs/-j N`` fans runs across N worker
+processes, results are memoised in ``.repro-cache/`` (``--no-cache``
+disables the cache, ``--refresh`` recomputes but re-stores).
 """
 
 from __future__ import annotations
@@ -76,11 +81,37 @@ def _cmd_sizing(args) -> int:
     return 0
 
 
+def _sweep_options(args):
+    """(jobs, cache) from the shared ``--jobs/--no-cache/--refresh``."""
+    cache = None
+    if not args.no_cache:
+        from repro.exec import ResultCache
+
+        cache = ResultCache(refresh=args.refresh)
+    return args.jobs, cache
+
+
+def _add_sweep_arguments(parser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = inline serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results but store fresh ones",
+    )
+
+
 def _cmd_tables(args) -> int:
     from repro.experiments.table1 import render_table1
     from repro.experiments.table2 import render_table2, run_table2
     from repro.experiments.table3 import render_table3, run_table3
 
+    jobs, cache = _sweep_options(args)
     which = set(args.which or ["1", "2", "3"])
     if "1" in which:
         print(render_table1())
@@ -89,7 +120,8 @@ def _cmd_tables(args) -> int:
         for name in (args.apps or list(_APPS)):
             app = _APPS[name](AppScale(), seed=42)
             result = run_table2(app, runs=args.runs,
-                                warmup_tokens=args.warmup)
+                                warmup_tokens=args.warmup,
+                                jobs=jobs, cache=cache)
             print(render_table2(result))
             print()
     if "3" in which:
@@ -98,7 +130,8 @@ def _cmd_tables(args) -> int:
             for name in (args.apps or list(_APPS))
         ]
         print(render_table3(run_table3(apps=apps, runs=args.runs,
-                                       warmup_tokens=args.warmup)))
+                                       warmup_tokens=args.warmup,
+                                       jobs=jobs, cache=cache)))
     return 0
 
 
@@ -194,8 +227,10 @@ def _cmd_trace(args) -> int:
 def _cmd_reproduce(args) -> int:
     from repro.experiments.reproduce import reproduce_all
 
+    jobs, cache = _sweep_options(args)
     result = reproduce_all(runs=args.runs, warmup_tokens=args.warmup,
-                           seed=args.seed, output_path=args.output)
+                           seed=args.seed, output_path=args.output,
+                           jobs=jobs, cache=cache)
     print(f"report written to {args.output}")
     print(f"all verdicts hold: {result.all_verdicts_hold}")
     return 0 if result.all_verdicts_hold else 1
@@ -272,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--apps", nargs="*", choices=sorted(_APPS))
     tables.add_argument("--runs", type=int, default=5)
     tables.add_argument("--warmup", type=int, default=100)
+    _add_sweep_arguments(tables)
     tables.set_defaults(func=_cmd_tables)
 
     demo = sub.add_parser("demo", help="single fault-injection run")
@@ -322,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--runs", type=int, default=20)
     reproduce.add_argument("--warmup", type=int, default=150)
     reproduce.add_argument("--seed", type=int, default=42)
+    _add_sweep_arguments(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     rep = sub.add_parser(

@@ -1,0 +1,61 @@
+"""Parallel experiment execution: task specs, workers, cache, executor.
+
+The subsystem turns every experiment run into a pickleable, content-
+addressed :class:`TaskSpec`, executes batches of them through an
+optional process pool (:class:`SweepExecutor` / :func:`run_sweep`), and
+memoises executed results on disk (:class:`ResultCache`).  See
+``docs/API.md`` ("Parallel execution & caching") for the full contract.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+)
+from repro.exec.executor import (
+    SweepExecutor,
+    SweepStats,
+    run_sweep,
+)
+from repro.exec.results import (
+    DetectionRecord,
+    MonitorRecord,
+    TaskResult,
+    hash_values,
+)
+from repro.exec.taskspec import (
+    KIND_DUPLICATED,
+    KIND_REFERENCE,
+    TASK_SCHEMA_VERSION,
+    DistanceMonitorSpec,
+    SyntheticAppSpec,
+    TaskSpec,
+    TaskSpecError,
+    build_app,
+)
+from repro.exec.worker import execute_task, run_chunk
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "DistanceMonitorSpec",
+    "DetectionRecord",
+    "KIND_DUPLICATED",
+    "KIND_REFERENCE",
+    "MonitorRecord",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepStats",
+    "SyntheticAppSpec",
+    "TASK_SCHEMA_VERSION",
+    "TaskResult",
+    "TaskSpec",
+    "TaskSpecError",
+    "build_app",
+    "execute_task",
+    "hash_values",
+    "run_chunk",
+    "run_sweep",
+]

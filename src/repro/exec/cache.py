@@ -1,0 +1,142 @@
+"""On-disk content-addressed cache of executed task results.
+
+Entries live under ``.repro-cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable or the ``root`` parameter),
+sharded by digest prefix::
+
+    .repro-cache/ab/abcdef....pkl
+
+Each entry is a pickle of ``{"schema": ..., "digest": ..., "result":
+TaskResult}``.  The digest is the :meth:`TaskSpec.digest` content hash,
+so a cache hit short-circuits the simulator entirely: re-running a sweep
+after an unrelated edit replays stored results instead of recomputing.
+
+Robustness rules (all covered by ``tests/exec/test_cache.py``):
+
+* a corrupted / truncated / unreadable entry is **deleted and treated as
+  a miss** — the run recomputes and overwrites it;
+* a schema-version mismatch (:data:`CACHE_SCHEMA_VERSION` bump) is a
+  miss, as is a digest mismatch (defends against hand-renamed files);
+* writes are atomic (temp file + ``os.replace``), so concurrent sweeps
+  sharing a cache directory never observe half-written entries;
+* ``refresh=True`` ignores existing entries but still stores new ones
+  (the ``--refresh`` escape hatch); disable caching entirely by passing
+  ``cache=None`` to the executor (``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.exec.results import TaskResult
+
+#: Version of the on-disk entry format (including the TaskResult shape).
+#: Bump whenever either changes; old entries then recompute in place.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class ResultCache:
+    """Digest-keyed persistent store of :class:`TaskResult` objects."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        refresh: bool = False,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.refresh = refresh
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidated = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[TaskResult]:
+        """The stored result for ``digest``, or ``None`` on miss."""
+        if self.refresh:
+            self.misses += 1
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated, corrupted or unreadable entry: drop it and
+            # recompute rather than crash the sweep.
+            self._discard(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("digest") != digest
+            or not isinstance(payload.get("result"), TaskResult)
+        ):
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, digest: str, result: TaskResult) -> None:
+        """Store ``result`` under ``digest`` (atomic replace)."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "digest": digest,
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def _discard(self, path: Path) -> None:
+        self.invalidated += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters for reports and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

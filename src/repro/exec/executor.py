@@ -1,0 +1,202 @@
+"""The process-pool sweep executor.
+
+Experiments hand the executor a *list* of :class:`TaskSpec` and get back
+the matching list of :class:`TaskResult`, in input order, regardless of
+how (or whether) the tasks ran in parallel:
+
+* ``jobs <= 1`` — inline serial execution, no pool, no IPC (the default;
+  also the automatic fallback when the platform lacks ``fork``);
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` fans chunks of tasks across
+  cores.  Chunked submission amortises pickling/IPC per task; results
+  are slotted back by task index, so ordering is deterministic by
+  construction.
+
+With a :class:`~repro.exec.cache.ResultCache` attached, cached digests
+short-circuit before any submission and fresh results are persisted on
+completion.  Progress is observable through a
+:class:`~repro.obs.metrics.MetricsRegistry` (``sweep.*`` counters and
+the per-task wall-time histogram) and/or a ``progress`` callback.
+
+Because every run is a pure function of its spec (seeded RNG only — see
+``tests/experiments/test_runner.py::TestSeedPurity``), parallel, serial
+and cached executions of the same sweep produce identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.results import TaskResult
+from repro.exec.taskspec import TaskSpec
+from repro.exec.worker import execute_task, run_chunk
+
+#: Chunks per worker per sweep: larger spreads load, smaller amortises
+#: IPC better.  Four keeps the pool busy even with skewed task times.
+_CHUNK_WAVES = 4
+
+ProgressCallback = Callable[[int, int, TaskSpec, TaskResult], None]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class SweepStats:
+    """What one sweep did, and how long each part took."""
+
+    tasks: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    jobs: int = 1
+    wall_time_s: float = 0.0
+    task_wall_s: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "jobs": self.jobs,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+class SweepExecutor:
+    """Reusable sweep runner; ``stats`` describes the last :meth:`run`."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        registry=None,
+        chunksize: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.registry = registry
+        self.chunksize = chunksize
+        self.progress = progress
+        self.stats = SweepStats()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, specs: Sequence[TaskSpec]) -> List[TaskResult]:
+        """Execute ``specs``; returns results in input order."""
+        started = time.perf_counter()
+        specs = list(specs)
+        stats = SweepStats(tasks=len(specs), jobs=self.jobs)
+        results: List[Optional[TaskResult]] = [None] * len(specs)
+
+        digests: List[Optional[str]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                digest = spec.digest()
+                digests[index] = digest
+                hit = self.cache.get(digest)
+                if hit is not None:
+                    results[index] = hit
+                    stats.cache_hits += 1
+                    self._report(stats, spec, hit)
+                    continue
+            pending.append(index)
+
+        if pending:
+            use_pool = (
+                self.jobs > 1 and len(pending) > 1 and _fork_available()
+            )
+            if use_pool:
+                self._run_pool(specs, pending, results, stats)
+            else:
+                self._run_inline(specs, pending, results, stats)
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.put(digests[index], results[index])
+
+        stats.wall_time_s = time.perf_counter() - started
+        self._flush_metrics(stats)
+        self.stats = stats
+        return results  # type: ignore[return-value]
+
+    # -- execution paths ---------------------------------------------------
+
+    def _run_inline(self, specs, pending, results, stats) -> None:
+        for index in pending:
+            result = execute_task(specs[index])
+            results[index] = result
+            self._account(stats, specs[index], result)
+
+    def _run_pool(self, specs, pending, results, stats) -> None:
+        workers = min(self.jobs, len(pending))
+        chunksize = self.chunksize or max(
+            1, -(-len(pending) // (workers * _CHUNK_WAVES))
+        )
+        chunks = [
+            [(index, specs[index]) for index in pending[at:at + chunksize]]
+            for at in range(0, len(pending), chunksize)
+        ]
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for index, result in future.result():
+                    results[index] = result
+                    self._account(stats, specs[index], result)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _account(self, stats, spec, result) -> None:
+        stats.executed += 1
+        stats.task_wall_s.append(result.wall_time_s)
+        if not result.ok:
+            stats.errors += 1
+        self._report(stats, spec, result)
+
+    def _report(self, stats, spec, result) -> None:
+        done = stats.executed + stats.cache_hits
+        if self.registry is not None:
+            self.registry.counter("sweep.completed").inc()
+            self.registry.histogram("sweep.task_wall_ms").observe(
+                result.wall_time_s * 1e3
+            )
+        if self.progress is not None:
+            self.progress(done, stats.tasks, spec, result)
+
+    def _flush_metrics(self, stats) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("sweep.tasks").inc(stats.tasks)
+        self.registry.counter("sweep.executed").inc(stats.executed)
+        self.registry.counter("sweep.cache_hits").inc(stats.cache_hits)
+        self.registry.counter("sweep.errors").inc(stats.errors)
+
+
+def run_sweep(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[TaskResult]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(
+        jobs=jobs,
+        cache=cache,
+        registry=registry,
+        chunksize=chunksize,
+        progress=progress,
+    ).run(specs)

@@ -1,0 +1,158 @@
+"""Serialisable run results for the sweep executor.
+
+A worker cannot ship a :class:`~repro.experiments.runner.DuplicatedRun`
+back to the parent — it holds the whole live network (processes,
+channels, hooks).  :class:`TaskResult` is the flat, pickleable reduction
+that every experiment aggregation actually consumes: consumer timings,
+fill maxima, detection records, per-site detection latencies, baseline
+monitor detections and overhead reports.
+
+Consumer payloads are carried as per-token **content hashes**
+(:func:`hash_values`): Theorem 2 equivalence checks only ever compare
+token sequences for equality, and hashing keeps multi-megabyte video
+frames out of the IPC stream and the on-disk cache.  ``keep_values=True``
+on the spec additionally ships the raw payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """Flat copy of a :class:`~repro.core.detection.FaultReport`."""
+
+    time: float
+    site: str
+    replica: int
+    mechanism: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class MonitorRecord:
+    """Flat copy of a baseline :class:`MonitorDetection`."""
+
+    time: float
+    stream: int
+    reason: str
+
+
+@dataclass
+class TaskResult:
+    """Everything one executed :class:`TaskSpec` produced.
+
+    ``ok`` is False when the run raised a
+    :class:`~repro.kpn.errors.SimulationError` (a deterministic outcome
+    for deliberately under-sized ablation configurations); ``error``
+    then carries ``"ExceptionType: message"`` and the data fields are
+    empty.  Any other exception propagates and fails the sweep.
+    """
+
+    kind: str
+    ok: bool = True
+    error: Optional[str] = None
+    value_hashes: List[str] = field(default_factory=list)
+    values: Optional[List[Any]] = None
+    times: List[float] = field(default_factory=list)
+    inter_arrival: List[float] = field(default_factory=list)
+    stalls: int = 0
+    max_fills: Dict[str, int] = field(default_factory=dict)
+    events: int = 0
+    detections: List[DetectionRecord] = field(default_factory=list)
+    injected_at: Optional[float] = None
+    latency_selector: Optional[float] = None
+    latency_replicator: Optional[float] = None
+    selector_drops: List[int] = field(default_factory=list)
+    overhead_replicator: Optional[Any] = None
+    overhead_selector: Optional[Any] = None
+    monitor_detections: List[MonitorRecord] = field(default_factory=list)
+    #: The worker-side :class:`~repro.experiments.validation.
+    #: ValidationReport` when the spec asked for one.
+    validation: Optional[Any] = None
+    #: Worker wall-clock for the run (set by the executor path; cache
+    #: hits report the original execution's time).
+    wall_time_s: float = 0.0
+
+    @property
+    def token_count(self) -> int:
+        """Number of tokens the consumer received."""
+        return len(self.value_hashes)
+
+    def detection_latency(self, site: Optional[str] = None
+                          ) -> Optional[float]:
+        """Injection-to-detection latency at an optional site (ms)."""
+        if site == "selector":
+            return self.latency_selector
+        if site == "replicator":
+            return self.latency_replicator
+        if self.injected_at is None:
+            return None
+        for record in self.detections:
+            if record.time >= self.injected_at:
+                return record.time - self.injected_at
+        return None
+
+    def mechanism_latency(self, replica: int, mechanism: str
+                          ) -> Optional[float]:
+        """Post-injection latency of one detection mechanism at one
+        replica, or ``None`` (mirrors the ablation harness filter)."""
+        if self.injected_at is None:
+            return None
+        for record in self.detections:
+            if record.mechanism != mechanism:
+                continue
+            if record.replica != replica:
+                continue
+            if record.time < self.injected_at:
+                continue
+            return record.time - self.injected_at
+        return None
+
+    def first_monitor_detection(self, stream: Optional[int] = None
+                                ) -> Optional[MonitorRecord]:
+        """First baseline-monitor detection, optionally per stream."""
+        for record in self.monitor_detections:
+            if stream is None or record.stream == stream:
+                return record
+        return None
+
+
+def hash_values(values: Sequence[Any]) -> List[str]:
+    """Per-token content hashes of a consumer payload sequence.
+
+    Equal hashes mean equal payloads under the same recursive equality
+    :func:`~repro.core.equivalence.output_values_equal` uses (arrays by
+    dtype/shape/bytes, sequences element-wise, scalars by repr), so
+    prefix comparisons over hash lists decide Theorem 2 equivalence.
+    """
+    return [_hash_one(value) for value in values]
+
+
+def _hash_one(value: Any) -> str:
+    digest = hashlib.sha256()
+    _feed(digest, value)
+    return digest.hexdigest()
+
+
+def _feed(digest, value: Any) -> None:
+    if isinstance(value, np.ndarray):
+        digest.update(b"nd:")
+        digest.update(str(value.dtype).encode())
+        digest.update(repr(value.shape).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        digest.update(f"seq:{len(value)}:".encode())
+        for item in value:
+            _feed(digest, item)
+    elif isinstance(value, (bytes, bytearray)):
+        digest.update(b"bytes:")
+        digest.update(bytes(value))
+    else:
+        digest.update(b"repr:")
+        digest.update(repr(value).encode())

@@ -10,6 +10,10 @@
   distance-function baseline;
 * :mod:`~repro.experiments.ablations` — threshold / polling / capacity
   sweeps for the design choices called out in DESIGN.md.
+
+All multi-run harnesses execute through the :mod:`repro.exec` sweep
+executor and accept ``jobs`` / ``cache`` parameters; serial, parallel
+and cache-replayed executions produce identical results.
 """
 
 from repro.experiments.runner import (
@@ -19,14 +23,25 @@ from repro.experiments.runner import (
     run_reference,
 )
 from repro.experiments.table1 import render_table1, table1_rows
-from repro.experiments.table2 import Table2Result, render_table2, run_table2
-from repro.experiments.table3 import Table3Result, render_table3, run_table3
+from repro.experiments.table2 import (
+    Table2Result,
+    render_table2,
+    run_table2,
+    table2_specs,
+)
+from repro.experiments.table3 import (
+    Table3Result,
+    render_table3,
+    run_table3,
+    table3_specs,
+)
 from repro.experiments.reproduce import ReproductionResult, reproduce_all
 from repro.experiments.validation import (
     ConformanceViolation,
     ValidationReport,
     check_curve_conformance,
     validate_run,
+    validation_sweep,
 )
 from repro.experiments.ablations import (
     capacity_margin_sweep,
@@ -41,6 +56,7 @@ __all__ = [
     "ValidationReport",
     "check_curve_conformance",
     "validate_run",
+    "validation_sweep",
     "DuplicatedRun",
     "ReferenceRun",
     "run_duplicated",
@@ -50,9 +66,11 @@ __all__ = [
     "Table2Result",
     "render_table2",
     "run_table2",
+    "table2_specs",
     "Table3Result",
     "render_table3",
     "run_table3",
+    "table3_specs",
     "capacity_margin_sweep",
     "polling_interval_sweep",
     "threshold_sweep",

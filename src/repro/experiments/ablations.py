@@ -10,6 +10,16 @@
 * :func:`capacity_margin_sweep` (A3) — fault-free false positives when
   the replicator capacities are scaled below the Eq. 3 values, and the
   latency cost of over-provisioning above them.
+
+All three sweeps execute through :mod:`repro.exec`: every point's runs
+become :class:`~repro.exec.TaskSpec` values (the overridden
+``SizingResult`` rides inside the spec and participates in its digest),
+one flat :func:`~repro.exec.run_sweep` executes them — optionally in
+parallel and against the on-disk cache — and aggregation walks the
+deterministic, index-ordered results.  Deliberately under-sized
+configurations abort their simulation; those runs come back with
+``ok=False`` and count as false positives (both replicas implicated)
+exactly as the in-process version counted an aborting run.
 """
 
 from __future__ import annotations
@@ -20,10 +30,14 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.stats import summarize
 from repro.apps.base import StreamingApplication
-from repro.experiments.runner import fault_time_for, run_duplicated
-from repro.experiments.table3 import _monitor_factory
+from repro.exec import (
+    DistanceMonitorSpec,
+    ResultCache,
+    TaskSpec,
+    run_sweep,
+)
+from repro.experiments.runner import fault_time_for
 from repro.faults.models import FAIL_STOP, FaultSpec
-from repro.kpn.errors import SimulationError
 
 
 @dataclass
@@ -41,21 +55,6 @@ def _with_selector_threshold(sizing, threshold: int):
     return dataclasses.replace(sizing, selector_threshold=threshold)
 
 
-def _mechanism_latency(run, fault, mechanism: str):
-    """Post-injection latency of a specific detection mechanism."""
-    if run.injector is None or run.injector.injected_at is None:
-        return None
-    for report in run.detections:
-        if report.mechanism != mechanism:
-            continue
-        if report.replica != fault.replica:
-            continue
-        if report.time < run.injector.injected_at:
-            continue
-        return report.time - run.injector.injected_at
-    return None
-
-
 def _with_replicator_capacities(sizing, capacities):
     return dataclasses.replace(
         sizing, replicator_capacities=tuple(capacities)
@@ -69,44 +68,69 @@ def threshold_sweep(
     warmup_tokens: int = 80,
     post_tokens: int = 30,
     base_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
 ) -> List[SweepPoint]:
     """A1: sweep the selector divergence threshold ``D``."""
     base_sizing = app.sizing()
     tokens = warmup_tokens + post_tokens
-    points: List[SweepPoint] = []
+    specs: List[TaskSpec] = []
+    faults: List[FaultSpec] = []
     for threshold in thresholds:
         sizing = _with_selector_threshold(base_sizing, threshold)
-        latencies: List[float] = []
-        false_positives = 0
-        detected = 0
         for r in range(runs):
             seed = base_seed + r
             # Fault-free run: count false positives at this threshold.
-            try:
-                clean = run_duplicated(
+            specs.append(
+                TaskSpec.duplicated(
                     app, tokens, seed, sizing=sizing,
                     strict_single_fault=False,
                 )
-                false_positives += sum(
-                    1 for d in clean.detections if d.site == "selector"
-                )
-            except SimulationError:
-                false_positives += 2
+            )
             fault = FaultSpec(
                 replica=r % 2,
                 time=fault_time_for(app, warmup_tokens, phase=0.3),
                 kind=FAIL_STOP,
             )
+            faults.append(fault)
             # D parameterises the divergence mechanism specifically; the
             # redundant stall mechanism (which fires first for these
             # configurations, making total detection latency flat in D)
             # is disabled so the sweep isolates the quantity under study.
-            run = run_duplicated(
-                app, tokens, seed, fault=fault, sizing=sizing,
-                strict_single_fault=False,
-                selector_stall_detection=False,
+            specs.append(
+                TaskSpec.duplicated(
+                    app, tokens, seed, fault=fault, sizing=sizing,
+                    strict_single_fault=False,
+                    selector_stall_detection=False,
+                )
             )
-            latency = _mechanism_latency(run, fault, "divergence")
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+
+    points: List[SweepPoint] = []
+    at = 0
+    for index, threshold in enumerate(thresholds):
+        latencies: List[float] = []
+        false_positives = 0
+        detected = 0
+        for r in range(runs):
+            clean, faulted = results[at], results[at + 1]
+            at += 2
+            if clean.ok:
+                false_positives += sum(
+                    1 for d in clean.detections if d.site == "selector"
+                )
+            else:
+                # The under-sized run aborted its simulation outright:
+                # both replicas were implicated before the deadlock.
+                false_positives += 2
+            if not faulted.ok:
+                raise RuntimeError(
+                    f"{app.name}: threshold sweep faulted run failed: "
+                    f"{faulted.error}"
+                )
+            fault = faults[index * runs + r]
+            latency = faulted.mechanism_latency(fault.replica, "divergence")
             if latency is not None:
                 detected += 1
                 latencies.append(latency)
@@ -131,16 +155,18 @@ def polling_interval_sweep(
     warmup_tokens: int = 80,
     post_tokens: int = 30,
     base_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
 ) -> List[SweepPoint]:
     """A2: sweep the distance-function baseline's polling period."""
     app = app.minimized()
     sizing = app.sizing()
     tokens = warmup_tokens + post_tokens
     stop_time = (tokens + 20) * app.producer_model.period
-    points: List[SweepPoint] = []
+    specs: List[TaskSpec] = []
+    faults: List[FaultSpec] = []
     for interval in intervals:
-        latencies: List[float] = []
-        detected = 0
         for r in range(runs):
             seed = base_seed + r
             fault = FaultSpec(
@@ -148,16 +174,34 @@ def polling_interval_sweep(
                 time=fault_time_for(app, warmup_tokens, phase=0.3),
                 kind=FAIL_STOP,
             )
-            run = run_duplicated(
-                app, tokens, seed, fault=fault, sizing=sizing,
-                record_events=True,
-                monitor_factory=_monitor_factory(app, interval, stop_time),
+            faults.append(fault)
+            specs.append(
+                TaskSpec.duplicated(
+                    app, tokens, seed, fault=fault, sizing=sizing,
+                    monitor=DistanceMonitorSpec(
+                        poll_interval=interval, stop_time=stop_time
+                    ),
+                )
             )
-            monitor = run.network.network.process("distance-monitor")
-            detection = monitor.first_detection(stream=fault.replica)
-            if detection is not None and run.injector.injected_at is not None:
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+
+    points: List[SweepPoint] = []
+    at = 0
+    for interval in intervals:
+        latencies: List[float] = []
+        detected = 0
+        for r in range(runs):
+            run = results[at]
+            fault = faults[at]
+            at += 1
+            if not run.ok:
+                raise RuntimeError(
+                    f"{app.name}: polling sweep run failed: {run.error}"
+                )
+            detection = run.first_monitor_detection(stream=fault.replica)
+            if detection is not None and run.injected_at is not None:
                 detected += 1
-                latencies.append(detection.time - run.injector.injected_at)
+                latencies.append(detection.time - run.injected_at)
         points.append(
             SweepPoint(
                 parameter=float(interval),
@@ -179,45 +223,61 @@ def capacity_margin_sweep(
     warmup_tokens: int = 80,
     post_tokens: int = 30,
     base_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
 ) -> List[SweepPoint]:
     """A3: scale the replicator capacities around the Eq. 3 values."""
     base_sizing = app.sizing()
     tokens = warmup_tokens + post_tokens
-    points: List[SweepPoint] = []
+    specs: List[TaskSpec] = []
     for factor in scale_factors:
         capacities = tuple(
             max(1, round(c * factor))
             for c in base_sizing.replicator_capacities
         )
         sizing = _with_replicator_capacities(base_sizing, capacities)
-        latencies: List[float] = []
-        false_positives = 0
-        detected = 0
         for r in range(runs):
             seed = base_seed + r
-            try:
-                clean = run_duplicated(
+            specs.append(
+                TaskSpec.duplicated(
                     app, tokens, seed, sizing=sizing,
                     strict_single_fault=False,
                 )
-                false_positives += sum(
-                    1 for d in clean.detections if d.site == "replicator"
-                )
-            except SimulationError:
-                false_positives += 2
+            )
             fault = FaultSpec(
                 replica=r % 2,
                 time=fault_time_for(app, warmup_tokens, phase=0.3),
                 kind=FAIL_STOP,
             )
-            try:
-                run = run_duplicated(
+            specs.append(
+                TaskSpec.duplicated(
                     app, tokens, seed, fault=fault, sizing=sizing,
                     strict_single_fault=False,
                 )
-            except SimulationError:
+            )
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+
+    points: List[SweepPoint] = []
+    at = 0
+    for factor in scale_factors:
+        latencies: List[float] = []
+        false_positives = 0
+        detected = 0
+        for r in range(runs):
+            clean, faulted = results[at], results[at + 1]
+            at += 2
+            if clean.ok:
+                false_positives += sum(
+                    1 for d in clean.detections if d.site == "replicator"
+                )
+            else:
+                false_positives += 2
+            if not faulted.ok:
+                # Deliberately under-provisioned faulted runs may abort;
+                # they simply contribute no latency sample (as before).
                 continue
-            latency = run.detection_latency("replicator")
+            latency = faulted.detection_latency("replicator")
             if latency is not None:
                 detected += 1
                 latencies.append(latency)

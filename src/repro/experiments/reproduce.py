@@ -49,20 +49,27 @@ def reproduce_all(
     warmup_tokens: int = 150,
     seed: int = 42,
     output_path: Optional[str] = None,
+    jobs: int = 1,
+    cache=None,
+    registry=None,
 ) -> ReproductionResult:
     """Regenerate the full evaluation.
 
     ``output_path`` optionally writes the markdown report to disk.
     Smaller ``runs`` / ``warmup_tokens`` give quick smoke reproductions.
+    ``jobs`` fans each table's sweep across processes; ``cache`` (a
+    :class:`repro.exec.ResultCache`) replays previously executed runs.
     """
     apps = [cls(AppScale(), seed=seed) for cls in ALL_APPLICATIONS]
     table1_text = render_table1(apps)
     table2_results = [
-        run_table2(app, runs=runs, warmup_tokens=warmup_tokens)
+        run_table2(app, runs=runs, warmup_tokens=warmup_tokens,
+                   jobs=jobs, cache=cache, registry=registry)
         for app in apps
     ]
     table3_result = run_table3(apps=apps, runs=runs,
-                               warmup_tokens=min(warmup_tokens, 120))
+                               warmup_tokens=min(warmup_tokens, 120),
+                               jobs=jobs, cache=cache, registry=registry)
     markdown = "\n".join(
         [
             "```",

@@ -4,6 +4,10 @@ The paper's Table 1 lists the ``<period, jitter, delay>`` PJD tuples of
 every interface for each application.  Here the same rows are generated
 from the application classes themselves, so the printed configuration is
 by construction the one the experiments run.
+
+Unlike Tables 2/3 this table is purely analytic — no simulator runs, so
+there is nothing to fan out through :mod:`repro.exec`; it always renders
+inline regardless of the ``--jobs`` setting.
 """
 
 from __future__ import annotations

@@ -23,12 +23,8 @@ from repro.analysis.tables import format_kv_block, format_table
 from repro.apps.base import StreamingApplication
 from repro.core.equivalence import output_values_equal
 from repro.core.overhead import OverheadReport
-from repro.experiments.runner import (
-    DuplicatedRun,
-    fault_time_for,
-    run_duplicated,
-    run_reference,
-)
+from repro.exec import ResultCache, TaskSpec, run_sweep
+from repro.experiments.runner import fault_time_for
 from repro.faults.models import FAIL_STOP, FaultSpec
 from repro.rtc.sizing import SizingResult
 
@@ -73,20 +69,16 @@ class Table2Result:
         }
 
 
-def run_table2(
+def table2_specs(
     app: StreamingApplication,
     runs: int = 20,
     warmup_tokens: Optional[int] = None,
     post_tokens: int = 40,
     base_seed: int = 1,
-) -> Table2Result:
-    """Regenerate one application's half of Table 2.
-
-    ``runs`` fault-free runs feed the observed-fill block; ``runs``
-    fail-stop fault runs (alternating the faulty replica, randomised
-    injection phase via the run seed) feed the latency block; one
-    reference run per seed feeds the inter-frame comparison.
-    """
+) -> List[TaskSpec]:
+    """The Table 2 sweep as task specs: per seed, one reference run, one
+    fault-free duplicated run and one fail-stop fault run (alternating
+    the faulty replica, injection phase randomised via the seed)."""
     sizing = app.sizing()
     warmup = (
         warmup_tokens
@@ -94,6 +86,51 @@ def run_table2(
         else min(app.scale.warmup_tokens, 300)
     )
     tokens = warmup + post_tokens
+    specs: List[TaskSpec] = []
+    for r in range(runs):
+        seed = base_seed + r
+        specs.append(TaskSpec.reference(app, tokens, seed, sizing=sizing))
+        specs.append(
+            TaskSpec.duplicated(
+                app, tokens, seed, sizing=sizing,
+                verify_duplicates=(r == 0),
+            )
+        )
+        phase = 0.1 + 0.8 * ((seed * 7919) % 100) / 100.0
+        fault = FaultSpec(
+            replica=r % 2,
+            time=fault_time_for(app, warmup, phase=phase),
+            kind=FAIL_STOP,
+        )
+        specs.append(
+            TaskSpec.duplicated(app, tokens, seed, sizing=sizing,
+                                fault=fault)
+        )
+    return specs
+
+
+def run_table2(
+    app: StreamingApplication,
+    runs: int = 20,
+    warmup_tokens: Optional[int] = None,
+    post_tokens: int = 40,
+    base_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
+) -> Table2Result:
+    """Regenerate one application's half of Table 2.
+
+    ``runs`` fault-free runs feed the observed-fill block; ``runs``
+    fail-stop fault runs (alternating the faulty replica, randomised
+    injection phase via the run seed) feed the latency block; one
+    reference run per seed feeds the inter-frame comparison.  The sweep
+    executes through :func:`repro.exec.run_sweep` — ``jobs`` fans it out
+    across processes and ``cache`` replays previously executed runs.
+    """
+    sizing = app.sizing()
+    specs = table2_specs(app, runs, warmup_tokens, post_tokens, base_seed)
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
 
     max_fills = {"R1": 0, "R2": 0, "S": 0}
     ref_gaps: List[float] = []
@@ -107,13 +144,14 @@ def run_table2(
     last_overhead_s = None
 
     for r in range(runs):
-        seed = base_seed + r
-        reference = run_reference(app, tokens, seed, sizing=sizing)
+        reference, fault_free, faulted = results[3 * r:3 * r + 3]
+        for outcome in (reference, fault_free, faulted):
+            if not outcome.ok:
+                raise AssertionError(
+                    f"{app.name}: run {r} failed: {outcome.error}"
+                )
         ref_gaps.extend(reference.inter_arrival)
 
-        fault_free = run_duplicated(
-            app, tokens, seed, sizing=sizing, verify_duplicates=(r == 0)
-        )
         dup_gaps.extend(fault_free.inter_arrival)
         consumer_stalls += fault_free.stalls
         if fault_free.detections:
@@ -125,17 +163,10 @@ def run_table2(
         max_fills["R1"] = max(max_fills["R1"], fills.get("replicator.R1", 0))
         max_fills["R2"] = max(max_fills["R2"], fills.get("replicator.R2", 0))
         max_fills["S"] = max(max_fills["S"], fills.get("selector.S", 0))
-        if not output_values_equal(reference.values, fault_free.values):
+        if not output_values_equal(reference.value_hashes,
+                                   fault_free.value_hashes):
             outputs_equivalent = False
 
-        phase = 0.1 + 0.8 * ((seed * 7919) % 100) / 100.0
-        fault = FaultSpec(
-            replica=r % 2,
-            time=fault_time_for(app, warmup, phase=phase),
-            kind=FAIL_STOP,
-        )
-        faulted = run_duplicated(app, tokens, seed, fault=fault,
-                                 sizing=sizing)
         consumer_stalls += faulted.stalls
         sel = faulted.detection_latency("selector")
         rep = faulted.detection_latency("replicator")
@@ -144,7 +175,8 @@ def run_table2(
         else:
             selector_latencies.append(sel)
             replicator_latencies.append(rep)
-        if not output_values_equal(reference.values, faulted.values):
+        if not output_values_equal(reference.value_hashes,
+                                   faulted.value_hashes):
             outputs_equivalent = False
         last_overhead_r = faulted.overhead_replicator
         last_overhead_s = faulted.overhead_selector

@@ -17,17 +17,19 @@ our measured relationship differs in detail and why.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import LatencyStats, summarize
 from repro.analysis.tables import format_table
 from repro.apps import ALL_APPLICATIONS
 from repro.apps.base import AppScale, StreamingApplication
-from repro.baselines.distance import (
-    DistanceFunctionMonitor,
-    l_repetitive_bounds,
+from repro.exec import (
+    DistanceMonitorSpec,
+    ResultCache,
+    TaskSpec,
+    run_sweep,
 )
-from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.experiments.runner import fault_time_for
 from repro.faults.models import FAIL_STOP, FaultSpec
 
 
@@ -51,29 +53,60 @@ class Table3Result:
     runs: int
 
 
-def _monitor_factory(app: StreamingApplication, poll_interval: float,
-                     stop_time: float):
-    """Build the distance-function monitor for one run."""
-    bounds = [
-        l_repetitive_bounds(model, l=1, margin=0.05 * model.period)
-        for model in app.replica_input_models
-    ]
+def table3_specs(
+    app: StreamingApplication,
+    runs: int = 20,
+    warmup_tokens: int = 100,
+    post_tokens: int = 30,
+    poll_interval: float = 1.0,
+    base_seed: int = 1,
+) -> Tuple[List[TaskSpec], List[FaultSpec]]:
+    """One (already minimised) application's Table 3 sweep.
 
-    def factory(duplicated, recorder):
-        monitor = DistanceFunctionMonitor(
-            "distance-monitor",
-            poll_interval=poll_interval,
-            stop_time=stop_time,
-            streams=[
-                recorder.channel("replicator.R1"),
-                recorder.channel("replicator.R2"),
-            ],
-            bounds=bounds,
-            event_kind="read",
+    Spec 0 is the fault-free run (monitor stop time pulled in: the
+    trailing silence of a finite experiment is not a fault — a real
+    stream runs forever); specs 1..runs are the faulted runs.  The fault
+    list is returned alongside so the aggregation can match baseline
+    detections to the faulty replica's stream.
+    """
+    sizing = app.sizing()
+    tokens = warmup_tokens + post_tokens
+    stop_time = (tokens + 20) * app.producer_model.period
+    clean_stop = (tokens - 5) * app.producer_model.period
+    specs = [
+        TaskSpec.duplicated(
+            app,
+            tokens,
+            base_seed,
+            sizing=sizing,
+            monitor=DistanceMonitorSpec(
+                poll_interval=poll_interval, stop_time=clean_stop
+            ),
         )
-        return [monitor]
-
-    return factory
+    ]
+    faults: List[FaultSpec] = []
+    for r in range(runs):
+        seed = base_seed + r
+        phase = 0.15 + 0.7 * ((seed * 104729) % 100) / 100.0
+        fault = FaultSpec(
+            replica=r % 2,
+            time=fault_time_for(app, warmup_tokens, phase=phase),
+            kind=FAIL_STOP,
+        )
+        faults.append(fault)
+        specs.append(
+            TaskSpec.duplicated(
+                app,
+                tokens,
+                seed,
+                fault=fault,
+                sizing=sizing,
+                monitor=DistanceMonitorSpec(
+                    poll_interval=poll_interval, stop_time=stop_time
+                ),
+            )
+        )
+    return specs, faults
 
 
 def run_table3(
@@ -83,67 +116,50 @@ def run_table3(
     post_tokens: int = 30,
     poll_interval: float = 1.0,
     base_seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    registry=None,
 ) -> Table3Result:
     """Regenerate Table 3 across the three applications."""
     if apps is None:
         apps = [cls(AppScale()).minimized() for cls in ALL_APPLICATIONS]
     else:
         apps = [app.minimized() for app in apps]
-    rows: List[Table3Row] = []
-    for app in apps:
-        sizing = app.sizing()
-        tokens = warmup_tokens + post_tokens
-        stop_time = (tokens + 20) * app.producer_model.period
-        ours: List[float] = []
-        baseline: List[float] = []
-        false_positives = 0
 
-        # One fault-free run: count baseline false positives.  The clean
-        # monitor stops polling before the finite producer runs out of
-        # tokens — the trailing silence of a finite experiment is not a
-        # fault (a real stream runs forever).
-        clean_stop = (tokens - 5) * app.producer_model.period
-        clean = run_duplicated(
-            app,
-            tokens,
-            base_seed,
-            sizing=sizing,
-            record_events=True,
-            monitor_factory=_monitor_factory(app, poll_interval, clean_stop),
+    per_app = []
+    all_specs: List[TaskSpec] = []
+    for app in apps:
+        specs, faults = table3_specs(
+            app, runs, warmup_tokens, post_tokens, poll_interval, base_seed
         )
-        clean_monitor = clean.network.network.process("distance-monitor")
-        false_positives += len(clean_monitor.detections)
+        per_app.append((app, faults, len(all_specs), len(specs)))
+        all_specs.extend(specs)
+    all_results = run_sweep(all_specs, jobs=jobs, cache=cache,
+                            registry=registry)
+
+    rows: List[Table3Row] = []
+    for app, faults, offset, count in per_app:
+        results = all_results[offset:offset + count]
+        for outcome in results:
+            if not outcome.ok:
+                raise AssertionError(
+                    f"{app.name}: Table 3 run failed: {outcome.error}"
+                )
+        clean, faulted = results[0], results[1:]
+        false_positives = len(clean.monitor_detections)
         if clean.detections:
             raise AssertionError(
                 f"{app.name}: our approach false-positived fault-free"
             )
-
-        for r in range(runs):
-            seed = base_seed + r
-            phase = 0.15 + 0.7 * ((seed * 104729) % 100) / 100.0
-            fault = FaultSpec(
-                replica=r % 2,
-                time=fault_time_for(app, warmup_tokens, phase=phase),
-                kind=FAIL_STOP,
-            )
-            run = run_duplicated(
-                app,
-                tokens,
-                seed,
-                fault=fault,
-                sizing=sizing,
-                record_events=True,
-                monitor_factory=_monitor_factory(
-                    app, poll_interval, stop_time
-                ),
-            )
+        ours: List[float] = []
+        baseline: List[float] = []
+        for fault, run in zip(faults, faulted):
             our_latency = run.detection_latency("replicator")
             if our_latency is not None:
                 ours.append(our_latency)
-            monitor = run.network.network.process("distance-monitor")
-            detection = monitor.first_detection(stream=fault.replica)
-            if detection is not None and run.injector.injected_at is not None:
-                baseline.append(detection.time - run.injector.injected_at)
+            detection = run.first_monitor_detection(stream=fault.replica)
+            if detection is not None and run.injected_at is not None:
+                baseline.append(detection.time - run.injected_at)
         rows.append(
             Table3Row(
                 app_name=app.name,

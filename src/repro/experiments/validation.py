@@ -19,7 +19,7 @@ the situation in which the paper's no-false-positive guarantee is void.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.kpn.trace import TraceRecorder
 from repro.kpn.tracefile import channel_timestamps
@@ -170,3 +170,50 @@ def validate_run(
             str(d) for d in detections
         )
     return report
+
+
+def validation_sweep(
+    apps: Optional[Sequence] = None,
+    runs: int = 5,
+    tokens: int = 150,
+    base_seed: int = 1,
+    jobs: int = 1,
+    cache=None,
+    registry=None,
+) -> List[Tuple[str, int, ValidationReport]]:
+    """Audit fault-free runs of every application across ``runs`` seeds.
+
+    Each run executes through :func:`repro.exec.run_sweep` with
+    ``validate=True``, so the audit itself happens worker-side (the
+    recorded trace never crosses the process boundary — only the
+    resulting :class:`ValidationReport` does).  Returns ``(app_name,
+    seed, report)`` triples in deterministic app-major order.
+    """
+    from repro.apps import ALL_APPLICATIONS
+    from repro.apps.base import AppScale
+    from repro.exec import TaskSpec, run_sweep
+
+    if apps is None:
+        apps = [cls(AppScale()) for cls in ALL_APPLICATIONS]
+    specs = []
+    labels: List[Tuple[str, int]] = []
+    for app in apps:
+        sizing = app.sizing()
+        for r in range(runs):
+            seed = base_seed + r
+            labels.append((app.name, seed))
+            specs.append(
+                TaskSpec.duplicated(
+                    app, tokens, seed, sizing=sizing, validate=True
+                )
+            )
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+    audited: List[Tuple[str, int, ValidationReport]] = []
+    for (name, seed), outcome in zip(labels, results):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"{name}: validation run (seed {seed}) failed: "
+                f"{outcome.error}"
+            )
+        audited.append((name, seed, outcome.validation))
+    return audited

@@ -143,6 +143,13 @@ class PJDUpperCurve(Curve):
             return 0.0
         model = self._model
         bound = _ceil((delta + model.jitter) / model.period)
+        if model.jitter > 0:
+            # A positive jitter, however small, admits one extra event in
+            # a window of exactly k periods (two events can legally sit
+            # strictly closer than k*p apart).  The tolerance in `_ceil`
+            # must not swallow jitters below EPS * period, or the curve
+            # stops being an upper bound on real schedules.
+            bound = max(bound, _floor(delta / model.period) + 1)
         if model.min_distance > 0:
             bound = min(bound, _ceil(delta / model.min_distance) + 1)
         return float(max(bound, 0))
@@ -197,7 +204,13 @@ class PJDLowerCurve(Curve):
         if delta <= EPS:
             return 0.0
         model = self._model
-        return float(max(_floor((delta - model.jitter) / model.period), 0))
+        bound = _floor((delta - model.jitter) / model.period)
+        if model.jitter > 0:
+            # Mirror of the upper-curve guard: with any positive jitter a
+            # window of exactly k periods may contain only k - 1 events,
+            # even when the jitter is smaller than the `_floor` tolerance.
+            bound = min(bound, _ceil(delta / model.period) - 1)
+        return float(max(bound, 0))
 
     def breakpoints(self, horizon: float) -> List[float]:
         model = self._model

@@ -265,6 +265,13 @@ def size_duplicated_network(
     Table 1 interface models constantly.  Each call returns a fresh
     :class:`SizingResult` copy, so mutating a result cannot poison the
     cache.
+
+    The memo is per-process and never shared writable across workers:
+    multiprocess sweeps (:mod:`repro.exec`) solve the sizing once in the
+    parent and ship the resulting :class:`SizingResult` (plain picklable
+    data) inside each task spec, so pool workers neither re-run the
+    solver nor touch this cache; workers forked after a parent-side
+    solve additionally inherit the warm memo for any ad-hoc calls.
     """
     try:
         cached = _size_duplicated_network_cached(

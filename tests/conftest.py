@@ -1,0 +1,19 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.exec.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(monkeypatch, tmp_path_factory):
+    """Point the sweep result cache away from the repository.
+
+    CLI-level tests drive ``repro tables`` / ``repro reproduce`` with
+    caching enabled by default; without this, running the suite from the
+    repo root would litter ``.repro-cache/`` into the checkout and —
+    worse — let one test's cached results leak into another's run.
+    """
+    monkeypatch.setenv(
+        CACHE_DIR_ENV, str(tmp_path_factory.mktemp("repro-cache"))
+    )

@@ -1,0 +1,107 @@
+"""Tests for the on-disk content-addressed result cache."""
+
+import pickle
+
+import pytest
+
+from repro.exec import ResultCache, TaskResult
+from repro.exec.cache import CACHE_DIR_ENV, CACHE_SCHEMA_VERSION
+
+
+DIGEST = "ab" + "0" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _result(**kwargs):
+    return TaskResult(kind="reference", value_hashes=["x", "y"], **kwargs)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(DIGEST) is None
+        cache.put(DIGEST, _result())
+        hit = cache.get(DIGEST)
+        assert hit is not None
+        assert hit.value_hashes == ["x", "y"]
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "invalidated": 0,
+        }
+
+    def test_refresh_ignores_but_stores(self, cache):
+        cache.put(DIGEST, _result())
+        refreshing = ResultCache(cache.root, refresh=True)
+        assert refreshing.get(DIGEST) is None
+        refreshing.put(DIGEST, _result(stalls=3))
+        assert ResultCache(cache.root).get(DIGEST).stalls == 3
+
+    def test_distinct_digests_do_not_collide(self, cache):
+        other = "cd" + "1" * 62
+        cache.put(DIGEST, _result(stalls=1))
+        cache.put(other, _result(stalls=2))
+        assert cache.get(DIGEST).stalls == 1
+        assert cache.get(other).stalls == 2
+
+    def test_env_var_sets_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))
+        cache = ResultCache()
+        cache.put(DIGEST, _result())
+        assert (tmp_path / "via-env").exists()
+        assert cache.get(DIGEST) is not None
+
+
+class TestRecovery:
+    def test_corrupted_entry_is_miss_and_deleted(self, cache):
+        cache.put(DIGEST, _result())
+        path = cache._path(DIGEST)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(DIGEST) is None
+        assert not path.exists()
+        assert cache.invalidated == 1
+        # the sweep recomputes and overwrites:
+        cache.put(DIGEST, _result())
+        assert cache.get(DIGEST) is not None
+
+    def test_truncated_entry_is_miss(self, cache):
+        cache.put(DIGEST, _result())
+        path = cache._path(DIGEST)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(DIGEST) is None
+
+    def test_schema_version_mismatch_invalidates(self, cache):
+        cache.put(DIGEST, _result())
+        path = cache._path(DIGEST)
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get(DIGEST) is None
+        assert not path.exists()
+
+    def test_digest_mismatch_invalidates(self, cache):
+        other = "cd" + "1" * 62
+        cache.put(other, _result())
+        # hand-rename the entry under a different digest
+        target = cache._path(DIGEST)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        cache._path(other).rename(target)
+        assert cache.get(DIGEST) is None
+
+    def test_wrong_payload_type_invalidates(self, cache):
+        path = cache._path(DIGEST)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "digest": DIGEST,
+            "result": "not a TaskResult",
+        }))
+        assert cache.get(DIGEST) is None
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(DIGEST, _result())
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []

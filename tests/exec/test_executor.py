@@ -1,0 +1,139 @@
+"""Tests for the sweep executor: ordering, parallel identity, caching."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.exec import (
+    ResultCache,
+    SweepExecutor,
+    TaskSpec,
+    run_sweep,
+)
+from repro.faults.models import FAIL_STOP, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SyntheticApp.bursty(seed=3)
+
+
+@pytest.fixture(scope="module")
+def specs(app):
+    sizing = app.sizing()
+    out = []
+    for seed in (1, 2, 3):
+        out.append(TaskSpec.reference(app, 40, seed, sizing=sizing))
+        out.append(TaskSpec.duplicated(
+            app, 40, seed, sizing=sizing,
+            fault=FaultSpec(replica=seed % 2, time=120.0, kind=FAIL_STOP),
+        ))
+    return out
+
+
+def _strip(result):
+    data = dataclasses.asdict(result)
+    data.pop("wall_time_s")  # the only field allowed to differ
+    return data
+
+
+class TestOrderingAndIdentity:
+    def test_results_in_input_order(self, specs):
+        results = run_sweep(specs)
+        kinds = [r.kind for r in results]
+        assert kinds == [s.kind for s in specs]
+
+    def test_parallel_identical_to_serial(self, specs):
+        serial = run_sweep(specs, jobs=1)
+        pooled = run_sweep(specs, jobs=2)
+        assert [_strip(r) for r in serial] == [_strip(r) for r in pooled]
+
+    def test_chunksize_does_not_change_results(self, specs):
+        serial = run_sweep(specs, jobs=1)
+        pooled = run_sweep(specs, jobs=2, chunksize=1)
+        assert [_strip(r) for r in serial] == [_strip(r) for r in pooled]
+
+    def test_empty_sweep(self):
+        assert run_sweep([]) == []
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+
+class TestErrorIsolation:
+    def test_failed_run_reported_not_raised(self, app):
+        # Replicator capacities of 1 under a bursty producer flag both
+        # replicas; with the strict single-fault assumption on, the
+        # simulation aborts with a SimulationError deterministically.
+        sizing = dataclasses.replace(
+            app.sizing(), replicator_capacities=(1, 1)
+        )
+        good = TaskSpec.reference(app, 40, 1, sizing=app.sizing())
+        bad = TaskSpec.duplicated(app, 40, 1, sizing=sizing)
+        results = run_sweep([good, bad, good])
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "Error" in results[1].error
+
+
+class TestCacheIntegration:
+    def test_second_sweep_executes_nothing(self, specs, tmp_path):
+        first = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        serial = first.run(specs)
+        assert first.stats.executed == len(specs)
+        assert first.stats.cache_hits == 0
+
+        second = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+        replayed = second.run(specs)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == len(specs)
+        assert [_strip(r) for r in replayed] == [_strip(r) for r in serial]
+
+    def test_refresh_recomputes(self, specs, tmp_path):
+        SweepExecutor(cache=ResultCache(tmp_path)).run(specs)
+        refreshing = SweepExecutor(
+            cache=ResultCache(tmp_path, refresh=True)
+        )
+        refreshing.run(specs)
+        assert refreshing.stats.executed == len(specs)
+        assert refreshing.stats.cache_hits == 0
+
+    def test_partial_hits(self, specs, tmp_path):
+        SweepExecutor(cache=ResultCache(tmp_path)).run(specs[:3])
+        executor = SweepExecutor(cache=ResultCache(tmp_path))
+        executor.run(specs)
+        assert executor.stats.cache_hits == 3
+        assert executor.stats.executed == len(specs) - 3
+
+
+class TestObservability:
+    def test_progress_callback_sees_every_task(self, specs):
+        seen = []
+        run_sweep(
+            specs,
+            progress=lambda done, total, spec, result:
+                seen.append((done, total)),
+        )
+        assert len(seen) == len(specs)
+        assert seen[-1] == (len(specs), len(specs))
+        assert all(total == len(specs) for _, total in seen)
+
+    def test_metrics_registry_counters(self, specs, tmp_path):
+        registry = MetricsRegistry()
+        run_sweep(specs, cache=ResultCache(tmp_path), registry=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["sweep.tasks"]["value"] == len(specs)
+        assert snapshot["sweep.executed"]["value"] == len(specs)
+        assert snapshot["sweep.cache_hits"]["value"] == 0
+        assert snapshot["sweep.errors"]["value"] == 0
+        assert snapshot["sweep.task_wall_ms"]["count"] == len(specs)
+
+    def test_stats_wall_times_recorded(self, specs):
+        executor = SweepExecutor()
+        executor.run(specs)
+        assert len(executor.stats.task_wall_s) == len(specs)
+        assert all(t > 0 for t in executor.stats.task_wall_s)
+        assert executor.stats.as_dict()["tasks"] == len(specs)

@@ -1,0 +1,84 @@
+"""Parallel, serial and cached executions must be indistinguishable.
+
+The PR 4 acceptance criteria, as tests: a Table 2 sweep run with
+``jobs=4`` must produce **byte-identical** JSON to the serial run, and
+re-running against a warm cache must execute **zero** simulator runs
+while still reproducing the same results.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+from repro.apps.base import AppScale
+from repro.exec import ResultCache, SweepExecutor
+from repro.experiments.ablations import threshold_sweep
+from repro.experiments.table2 import run_table2, table2_specs
+from repro.experiments.table3 import run_table3
+
+RUNS = 3
+WARMUP = 40
+POST = 15
+
+
+@pytest.fixture(scope="module")
+def app():
+    return ALL_APPLICATIONS[1](AppScale(), seed=42)  # adpcm: fastest
+
+
+def _table2_json(app, **kwargs):
+    result = run_table2(app, runs=RUNS, warmup_tokens=WARMUP,
+                        post_tokens=POST, **kwargs)
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+class TestParallelIdentity:
+    def test_table2_jobs4_byte_identical_to_serial(self, app):
+        serial = _table2_json(app, jobs=1)
+        parallel = _table2_json(app, jobs=4)
+        assert serial == parallel
+
+    def test_table3_jobs2_identical_to_serial(self, app):
+        serial = run_table3(apps=[app], runs=RUNS, warmup_tokens=WARMUP,
+                            post_tokens=POST, jobs=1)
+        parallel = run_table3(apps=[app], runs=RUNS, warmup_tokens=WARMUP,
+                              post_tokens=POST, jobs=2)
+        assert serial == parallel
+
+    def test_ablation_jobs2_identical_to_serial(self, app):
+        kwargs = dict(thresholds=[2, 6], runs=2, warmup_tokens=WARMUP,
+                      post_tokens=POST)
+        assert (
+            threshold_sweep(app, jobs=1, **kwargs)
+            == threshold_sweep(app, jobs=2, **kwargs)
+        )
+
+
+class TestCachedReplay:
+    def test_cached_rerun_executes_zero_runs(self, app, tmp_path):
+        uncached = _table2_json(app, jobs=1)
+        _table2_json(app, jobs=1, cache=ResultCache(tmp_path))
+
+        # Drive the same sweep through an executor we can interrogate:
+        # every spec must come from the cache, none from the simulator.
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        specs = table2_specs(app, runs=RUNS, warmup_tokens=WARMUP,
+                             post_tokens=POST)
+        executor.run(specs)
+        assert executor.stats.executed == 0
+        assert executor.stats.cache_hits == len(specs)
+
+        cached = _table2_json(app, jobs=1, cache=ResultCache(tmp_path))
+        assert cached == uncached
+
+    def test_parallel_populates_cache_serial_replays(self, app, tmp_path):
+        parallel = _table2_json(app, jobs=2, cache=ResultCache(tmp_path))
+        replay_executor = SweepExecutor(jobs=1,
+                                        cache=ResultCache(tmp_path))
+        specs = table2_specs(app, runs=RUNS, warmup_tokens=WARMUP,
+                             post_tokens=POST)
+        replay_executor.run(specs)
+        assert replay_executor.stats.executed == 0
+        serial = _table2_json(app, jobs=1, cache=ResultCache(tmp_path))
+        assert serial == parallel

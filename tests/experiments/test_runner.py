@@ -83,11 +83,64 @@ class TestRunDuplicated:
         assert result.max_fills["selector.S"] <= sizing.selector_fifo_size
 
     def test_monitor_factory_attached(self, app, sizing):
-        from repro.experiments.table3 import _monitor_factory
-        factory = _monitor_factory(app.minimized(), 1.0, 100.0)
+        from repro.exec.taskspec import DistanceMonitorSpec
+        from repro.exec.worker import _monitor_factory
+        factory = _monitor_factory(
+            app.minimized(),
+            DistanceMonitorSpec(poll_interval=1.0, stop_time=100.0),
+        )
         result = run_duplicated(
             app.minimized(), 10, seed=1, record_events=True,
             monitor_factory=factory,
         )
         monitor = result.network.network.process("distance-monitor")
         assert monitor.polls > 0
+
+
+class TestSeedPurity:
+    """Every run is a pure function of its seed (satellite audit).
+
+    No module-global RNG state may leak between runs: executing seed A
+    then seed B must give the same per-seed outputs as B then A.  This
+    is the property that makes parallel sweeps (repro.exec) identical
+    to serial ones regardless of scheduling order.
+    """
+
+    @staticmethod
+    def _signature(run):
+        from repro.exec import hash_values
+
+        return (
+            list(run.times),
+            hash_values(run.values),
+            run.stalls,
+            dict(run.max_fills),
+            [str(d) for d in run.detections],
+        )
+
+    def test_duplicated_runs_order_independent(self, app, sizing):
+        fault = FaultSpec(
+            replica=0,
+            time=fault_time_for(app, 30, phase=0.4),
+            kind=FAIL_STOP,
+        )
+
+        def run_seed(seed):
+            return self._signature(
+                run_duplicated(app, 45, seed, fault=fault, sizing=sizing)
+            )
+
+        forward = {seed: run_seed(seed) for seed in (11, 12)}
+        backward = {seed: run_seed(seed) for seed in (12, 11)}
+        assert forward == backward
+
+    def test_reference_runs_order_independent(self, app, sizing):
+        from repro.exec import hash_values
+
+        def run_seed(seed):
+            run = run_reference(app, 45, seed, sizing=sizing)
+            return (list(run.times), hash_values(run.values), run.stalls)
+
+        forward = {seed: run_seed(seed) for seed in (11, 12)}
+        backward = {seed: run_seed(seed) for seed in (12, 11)}
+        assert forward == backward

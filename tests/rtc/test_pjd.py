@@ -130,3 +130,38 @@ class TestLowerCurve:
 
     def test_repr_contains_model(self):
         assert "30" in repr(PJD(30.0, 5.0, 30.0).lower())
+
+
+class TestSubEpsilonJitter:
+    """Jitters smaller than EPS * period must still be honoured.
+
+    Regression for a hypothesis-found conservativeness violation: with
+    jitter ~4e-9 the EPS-tolerant ceiling/floor rounded the genuine
+    jitter term away, so the upper curve under-counted (a schedule could
+    legally place 2 events inside a one-period window the curve claimed
+    holds 1) and the lower curve over-promised.
+    """
+
+    def test_upper_admits_extra_event_at_period_multiples(self):
+        model = PJD(4.0, 3.948563905066275e-09, 0.0)
+        upper = model.upper()
+        assert upper(4.0) >= 2
+        assert upper(8.0) >= 3
+
+    def test_lower_does_not_over_promise_at_period_multiples(self):
+        model = PJD(4.0, 3.948563905066275e-09, 0.0)
+        lower = model.lower()
+        assert lower(4.0) <= 0
+        assert lower(8.0) <= 1
+
+    def test_zero_jitter_unchanged(self):
+        model = PJD(4.0, 0.0, 0.0)
+        assert model.upper()(4.0) == 1
+        assert model.lower()(4.0) == 1
+
+    def test_real_app_scale_jitter_unchanged(self):
+        upper, lower = PJD(30.0, 2.0, 30.0).curves()
+        assert upper(30.0) == 2
+        assert upper(60.0) == 3
+        assert lower(30.0) == 0
+        assert lower(32.0) == 1

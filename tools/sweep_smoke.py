@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Repo-root entry point for the sweep-executor smoke check.
+
+Thin shim over :mod:`repro.tools.sweep_smoke` that anchors ``src/`` on
+``sys.path``, so ``python tools/sweep_smoke.py`` works from a bare
+checkout without installing the package.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.tools.sweep_smoke import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
