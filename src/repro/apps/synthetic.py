@@ -52,6 +52,38 @@ class SyntheticApp(StreamingApplication):
         self.consumer_model = consumer if consumer is not None else producer
 
     @classmethod
+    def randomized(cls, rng, seed: int = 0,
+                   name: str = "synthetic-rand") -> "SyntheticApp":
+        """Sample a random Figure 1 application from an explicit RNG.
+
+        ``rng`` is a :class:`random.Random` supplied by the caller — this
+        method performs no global-state draws, so a campaign generating
+        apps from per-scenario derived streams (see
+        :func:`repro.faults.sampling.derive_rng`) is order-independent.
+        All interfaces share one period (a relay pipeline needs equal
+        long-run rates for the Eq. 3 backlog to stay finite); jitters and
+        minimum distances vary per interface, covering smooth, jittery
+        and bursty regimes.
+        """
+        period = round(rng.uniform(4.0, 16.0), 2)
+
+        def model(max_jitter_factor: float) -> PJD:
+            jitter = round(rng.uniform(0.0, max_jitter_factor) * period, 2)
+            if jitter > 0.8 * period:
+                # Bursty regime: a tighter minimum distance keeps the
+                # upper curve's burst limit meaningful.
+                distance = round(rng.uniform(0.25, 0.6) * period, 2)
+            else:
+                distance = round(rng.uniform(0.5, 1.0) * period, 2)
+            return PJD(period, jitter, distance)
+
+        producer = model(1.2)
+        replicas = [model(1.5), model(1.5)]
+        consumer = model(0.5)
+        return cls(producer=producer, replicas=replicas, consumer=consumer,
+                   seed=seed, name=name)
+
+    @classmethod
     def bursty(cls, period: float = 10.0, burst: int = 4,
                seed: int = 0) -> "SyntheticApp":
         """A bursty variant: the producer may emit ``burst`` tokens

@@ -1,0 +1,209 @@
+"""Campaign report artifacts (``repro.campaign-report/1``).
+
+One plain-data document per campaign, in the same style as the obs
+layer's ``repro.run-report/1``: an in-repo schema
+(:data:`CAMPAIGN_REPORT_SCHEMA`, checked by
+:func:`validate_campaign_report` through the obs validator), a builder
+(:func:`build_campaign_report`) and a human-readable renderer
+(:func:`render_campaign_report`).  CI uploads the JSON as the
+campaign-smoke artifact; the digest inside is the determinism witness
+two runs of the same seed must agree on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.campaign.engine import CampaignResult
+from repro.campaign.oracles import ALL_ORACLES
+from repro.obs.report import _validate_node
+
+#: Schema identifier embedded in every campaign report.
+CAMPAIGN_SCHEMA_ID = "repro.campaign-report/1"
+
+#: The report contract (leaf values are accepted-type tuples; a list
+#: entry describes each element; ``None`` is allowed at any leaf).
+CAMPAIGN_REPORT_SCHEMA: Dict[str, Any] = {
+    "schema": (str,),                      # == CAMPAIGN_SCHEMA_ID
+    "campaign": {
+        "seed": (int,),                    # campaign seed
+        "budget": (int,),                  # requested scenario count
+        "scenarios": (int,),               # executed incl. self-tests
+        "digest": (str,),                  # determinism witness
+        "oracles": [(str,)],               # active oracle names
+        "ok": (bool,),                     # no surviving violations
+    },
+    "verdicts": {
+        "pass": (int,),
+        "violation": (int,),
+        "expected-violation": (int,),
+        "missed-expected-violation": (int,),
+    },
+    "oracle_stats": [{
+        "name": (str,),                    # oracle name
+        "claim": (str,),                   # paper claim it checks
+        "violations": (int,),              # total violations it raised
+    }],
+    "scenarios": [{
+        "index": (int,),                   # matrix index (negative: self-test)
+        "digest": (str,),                  # scenario content digest
+        "label": (str,),                   # human-readable identity
+        "app": (str,),                     # application name
+        "tokens": (int,),                  # producer tokens
+        "fault_kind": (str,),              # nullable: fault-free scenario
+        "verdict": (str,),                 # pass | violation | expected-...
+        "violations": [{
+            "oracle": (str,),
+            "message": (str,),
+        }],
+        "latency_selector_ms": (float, int),    # nullable
+        "latency_replicator_ms": (float, int),  # nullable
+    }],
+    "shrunk": [{
+        "digest": (str,),                  # original scenario digest
+        "target_oracles": [(str,)],        # oracles being preserved
+        "from_tokens": (int,),             # original token budget
+        "to_tokens": (int,),               # minimal reproducer budget
+        "runs": (int,),                    # executions the search spent
+        "reduced": (bool,),                # did shrinking make progress?
+    }],
+    "executor": dict,                      # SweepStats.as_dict() or {}
+}
+
+
+def build_campaign_report(result: CampaignResult) -> Dict[str, Any]:
+    """Flatten a :class:`CampaignResult` into the report document."""
+    verdicts = {"pass": 0, "violation": 0, "expected-violation": 0,
+                "missed-expected-violation": 0}
+    oracle_counts = {oracle.name: 0 for oracle in ALL_ORACLES}
+    scenarios: List[Dict[str, Any]] = []
+    for outcome in result.outcomes:
+        verdicts[outcome.verdict] += 1
+        for violation in outcome.violations:
+            oracle_counts[violation.oracle] = (
+                oracle_counts.get(violation.oracle, 0) + 1
+            )
+        scenario = outcome.scenario
+        scenarios.append({
+            "index": scenario.index,
+            "digest": outcome.digest,
+            "label": scenario.label(),
+            "app": scenario.app,
+            "tokens": scenario.tokens,
+            "fault_kind": (
+                scenario.fault.kind if scenario.fault is not None else None
+            ),
+            "verdict": outcome.verdict,
+            "violations": [v.as_dict() for v in outcome.violations],
+            "latency_selector_ms": outcome.duplicated.latency_selector,
+            "latency_replicator_ms": outcome.duplicated.latency_replicator,
+        })
+
+    shrunk = [
+        {
+            "digest": digest,
+            "target_oracles": list(entry.target_oracles),
+            "from_tokens": entry.original.tokens,
+            "to_tokens": entry.minimal.tokens,
+            "runs": entry.runs,
+            "reduced": entry.reduced,
+        }
+        for digest, entry in sorted(result.shrunk.items())
+    ]
+
+    return {
+        "schema": CAMPAIGN_SCHEMA_ID,
+        "campaign": {
+            "seed": result.seed,
+            "budget": result.budget,
+            "scenarios": len(result.outcomes),
+            "digest": result.digest(),
+            "oracles": list(result.oracle_names),
+            "ok": result.ok,
+        },
+        "verdicts": verdicts,
+        "oracle_stats": [
+            {
+                "name": oracle.name,
+                "claim": oracle.claim,
+                "violations": oracle_counts.get(oracle.name, 0),
+            }
+            for oracle in ALL_ORACLES
+            if oracle.name in result.oracle_names
+        ],
+        "scenarios": scenarios,
+        "shrunk": shrunk,
+        "executor": (
+            result.stats.as_dict() if result.stats is not None else {}
+        ),
+    }
+
+
+def validate_campaign_report(report: Dict[str, Any]) -> None:
+    """Check a report against :data:`CAMPAIGN_REPORT_SCHEMA`.
+
+    Raises :class:`ValueError` naming the offending path.
+    """
+    if report.get("schema") != CAMPAIGN_SCHEMA_ID:
+        raise ValueError(
+            f"report schema is {report.get('schema')!r}, expected "
+            f"{CAMPAIGN_SCHEMA_ID!r}"
+        )
+    _validate_node(report, CAMPAIGN_REPORT_SCHEMA, path="campaign-report")
+
+
+def render_campaign_report(report: Dict[str, Any]) -> str:
+    """Human-readable campaign summary."""
+    campaign = report["campaign"]
+    verdicts = report["verdicts"]
+    lines: List[str] = []
+    lines.append(
+        f"Campaign: seed={campaign['seed']} budget={campaign['budget']} "
+        f"({campaign['scenarios']} scenarios incl. self-tests)"
+    )
+    lines.append(f"  digest {campaign['digest']}")
+    lines.append(
+        f"  {verdicts['pass']} pass, {verdicts['violation']} violation(s), "
+        f"{verdicts['expected-violation']} expected violation(s), "
+        f"{verdicts['missed-expected-violation']} missed self-test(s)"
+    )
+    lines.append("")
+    lines.append("Oracles")
+    for entry in report["oracle_stats"]:
+        lines.append(
+            f"  {entry['name']:<20} {entry['violations']:>3} violation(s)"
+            f"  — {entry['claim']}"
+        )
+    failures = [s for s in report["scenarios"]
+                if s["verdict"] in ("violation",
+                                    "missed-expected-violation")]
+    if failures:
+        lines.append("")
+        lines.append("Failures")
+        for scenario in failures:
+            lines.append(f"  {scenario['label']}  [{scenario['verdict']}]")
+            for violation in scenario["violations"]:
+                lines.append(
+                    f"    {violation['oracle']}: {violation['message']}"
+                )
+    if report["shrunk"]:
+        lines.append("")
+        lines.append("Minimal reproducers")
+        for entry in report["shrunk"]:
+            lines.append(
+                f"  {entry['digest'][:16]}...  tokens "
+                f"{entry['from_tokens']} -> {entry['to_tokens']} "
+                f"({entry['runs']} runs; "
+                f"{', '.join(entry['target_oracles'])})"
+            )
+    executor = report["executor"]
+    if executor:
+        lines.append("")
+        lines.append(
+            f"Executor: {executor.get('tasks')} tasks, "
+            f"{executor.get('executed')} executed, "
+            f"{executor.get('cache_hits')} cache hits, "
+            f"jobs={executor.get('jobs')}, "
+            f"wall {executor.get('wall_time_s', 0.0):.1f} s"
+        )
+    return "\n".join(lines)

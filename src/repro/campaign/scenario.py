@@ -1,0 +1,433 @@
+"""Scenarios and the seeded scenario-matrix generator.
+
+A :class:`Scenario` is one cell of the campaign matrix — an application,
+a (possibly absent) fault, a token budget, a sizing margin and a run
+seed — as plain frozen data: JSON round-trippable
+(:func:`scenario_to_jsonable` / :func:`scenario_from_jsonable`),
+content-digested (:meth:`Scenario.digest`) and convertible into the pair
+of :class:`~repro.exec.TaskSpec` runs (reference twin + duplicated
+network) that the engine executes.
+
+:class:`ScenarioGenerator` samples the matrix from a campaign seed.
+Scenario ``i`` is a pure function of ``(seed, i)`` — generation order,
+partial regeneration (shrinking) and parallel workers all agree (see
+:func:`repro.faults.sampling.derive_rng`).  Deliberately mis-sized
+**self-test** scenarios ride along with ``expect_violation=True``: they
+must be caught by the oracles, proving the campaign has teeth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import ALL_APPLICATIONS
+from repro.apps.base import AppScale, StreamingApplication
+from repro.apps.synthetic import SyntheticApp
+from repro.exec.taskspec import TaskSpec, _canon
+from repro.faults.models import RATE_DEGRADE, FaultSpec
+from repro.faults.sampling import FaultSampler, derive_rng
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import SizingResult
+
+#: Version of the scenario schema; participates in every digest.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Deliberate mis-sizing kinds (oracle self-tests).
+MISSIZE_THRESHOLD = "threshold"  # divergence thresholds forced to 1 (Eq. 5)
+MISSIZE_CAPACITY = "capacity"    # replicator FIFOs forced to 1 (Eq. 3)
+
+_MISSIZES = (MISSIZE_THRESHOLD, MISSIZE_CAPACITY)
+
+_REGISTRY: Dict[str, type] = {cls.name: cls for cls in ALL_APPLICATIONS}
+
+
+class ScenarioError(ValueError):
+    """A scenario that cannot be built or decoded."""
+
+
+@dataclass(frozen=True)
+class SyntheticModels:
+    """Explicit PJD models of a synthetic-family scenario."""
+
+    producer: PJD
+    replicas: Tuple[PJD, PJD]
+    consumer: PJD
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign cell as plain data.
+
+    ``app`` is a registry name (``mjpeg``/``adpcm``/``h264``) or a
+    synthetic-family label (``models`` then carries the explicit PJDs).
+    ``capacity_margin`` over-provisions the Eq. 3 capacities (a margin of
+    1.0 is the exact paper sizing); ``missize`` deliberately breaks the
+    sizing for oracle self-tests, in which case ``expect_violation`` is
+    set and the campaign *requires* a violation.
+    """
+
+    index: int
+    app: str
+    tokens: int
+    warmup_tokens: int
+    seed: int
+    app_seed: int = 0
+    models: Optional[SyntheticModels] = None
+    fault: Optional[FaultSpec] = None
+    capacity_margin: float = 1.0
+    missize: Optional[str] = None
+    expect_violation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tokens < 1:
+            raise ScenarioError("tokens must be >= 1")
+        if not 0 <= self.warmup_tokens <= self.tokens:
+            raise ScenarioError("warmup must lie within the token budget")
+        if self.capacity_margin < 1.0:
+            raise ScenarioError(
+                "capacity_margin must be >= 1.0 (use missize for "
+                "deliberate under-sizing)"
+            )
+        if self.missize is not None and self.missize not in _MISSIZES:
+            raise ScenarioError(f"unknown missize kind {self.missize!r}")
+        if self.app not in _REGISTRY and self.models is None:
+            raise ScenarioError(
+                f"unknown application {self.app!r} without explicit models"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    def build_app(self) -> StreamingApplication:
+        """Reconstruct the application this scenario describes."""
+        if self.models is not None:
+            return SyntheticApp(
+                producer=self.models.producer,
+                replicas=list(self.models.replicas),
+                consumer=self.models.consumer,
+                seed=self.app_seed,
+                name=self.app,
+            )
+        return _REGISTRY[self.app](AppScale(), seed=self.app_seed)
+
+    def applied_sizing(self, app: StreamingApplication) -> SizingResult:
+        """The Section 3.4 sizing with margin / mis-sizing applied."""
+        sizing = app.sizing()
+        if self.capacity_margin != 1.0:
+            sizing = dataclasses.replace(
+                sizing,
+                replicator_capacities=tuple(
+                    int(math.ceil(c * self.capacity_margin))
+                    for c in sizing.replicator_capacities
+                ),
+                selector_capacities=tuple(
+                    int(math.ceil(c * self.capacity_margin))
+                    for c in sizing.selector_capacities
+                ),
+            )
+        if self.missize == MISSIZE_THRESHOLD:
+            sizing = dataclasses.replace(
+                sizing, selector_threshold=1, replicator_threshold=1
+            )
+        elif self.missize == MISSIZE_CAPACITY:
+            sizing = dataclasses.replace(
+                sizing, replicator_capacities=(1, 1)
+            )
+        return sizing
+
+    def specs(self) -> Tuple[TaskSpec, TaskSpec]:
+        """The (reference, duplicated) task pair for this scenario."""
+        app = self.build_app()
+        sizing = self.applied_sizing(app)
+        reference = TaskSpec.reference(
+            app, self.tokens, self.seed, sizing=sizing
+        )
+        duplicated = TaskSpec.duplicated(
+            app,
+            self.tokens,
+            self.seed,
+            sizing=sizing,
+            fault=self.fault,
+            # Mis-sized self-tests may implicate both replicas; let the
+            # run record that rather than abort (the ablation idiom).
+            strict_single_fault=self.missize is None,
+        )
+        return reference, duplicated
+
+    # -- identity ----------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content digest of this scenario (hex SHA-256)."""
+        payload = {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "scenario": _canon(self),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for progress and reports."""
+        parts = [f"#{self.index}", self.app, f"tokens={self.tokens}",
+                 f"seed={self.seed}"]
+        if self.fault is None:
+            parts.append("fault-free")
+        else:
+            parts.append(f"{self.fault.kind}@r{self.fault.replica}")
+        if self.capacity_margin != 1.0:
+            parts.append(f"margin={self.capacity_margin:g}")
+        if self.missize is not None:
+            parts.append(f"missize={self.missize}")
+        return " ".join(parts)
+
+
+# -- JSON round-trip -------------------------------------------------------
+
+_JSON_TYPES = {
+    cls.__name__: cls
+    for cls in (Scenario, SyntheticModels, FaultSpec, PJD)
+}
+
+_TUPLE_FIELDS = {"SyntheticModels": ("replicas",)}
+
+
+def scenario_to_jsonable(obj):
+    """Encode a :class:`Scenario` (or nested dataclass) for JSON."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _JSON_TYPES:
+            raise ScenarioError(f"cannot encode {name!r} as scenario JSON")
+        body = {
+            f.name: scenario_to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        body["__type__"] = name
+        return body
+    if isinstance(obj, (list, tuple)):
+        return [scenario_to_jsonable(item) for item in obj]
+    raise ScenarioError(
+        f"cannot encode {type(obj).__name__!r} as scenario JSON"
+    )
+
+
+def scenario_from_jsonable(data):
+    """Decode :func:`scenario_to_jsonable` output; validators re-run."""
+    if isinstance(data, dict) and "__type__" in data:
+        name = data["__type__"]
+        cls = _JSON_TYPES.get(name)
+        if cls is None:
+            raise ScenarioError(f"unknown scenario type {name!r} in JSON")
+        kwargs = {
+            key: scenario_from_jsonable(value)
+            for key, value in data.items()
+            if key != "__type__"
+        }
+        for field_name in _TUPLE_FIELDS.get(name, ()):
+            if isinstance(kwargs.get(field_name), list):
+                kwargs[field_name] = tuple(kwargs[field_name])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(
+                f"invalid {name} in scenario JSON: {error}"
+            ) from error
+    if isinstance(data, list):
+        return [scenario_from_jsonable(item) for item in data]
+    if isinstance(data, dict):
+        raise ScenarioError("untagged object in scenario JSON")
+    return data
+
+
+# -- generation ------------------------------------------------------------
+
+#: Default application mix.  Synthetic-heavy: random synthetic apps
+#: explore the model space at ~30 ms a run, while occasional media apps
+#: keep the full codec pipelines in the coverage set.
+DEFAULT_APP_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("synthetic-rand", 0.78),
+    ("synthetic-bursty", 0.12),
+    ("adpcm", 0.07),
+    ("mjpeg", 0.03),
+)
+
+#: Over-provisioning factors for the sizing-margin axis.
+MARGIN_CHOICES = (1.25, 1.5, 2.0)
+
+
+class ScenarioGenerator:
+    """Samples the campaign's scenario matrix from one seed.
+
+    Every scenario derives its own RNG stream from ``(seed, index)``;
+    infeasible draws (token budgets beyond ``max_tokens``) retry on a
+    per-index sub-stream, so one index's rejections never perturb
+    another's sample.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        app_weights: Optional[Sequence[Tuple[str, float]]] = None,
+        fault_rate: float = 0.7,
+        margin_rate: float = 0.2,
+        max_tokens: int = 420,
+        max_attempts: int = 8,
+    ) -> None:
+        self.seed = seed
+        self.app_weights = tuple(app_weights or DEFAULT_APP_WEIGHTS)
+        for name, _weight in self.app_weights:
+            if name not in _REGISTRY and not name.startswith("synthetic"):
+                raise ScenarioError(f"unknown application {name!r}")
+        self.fault_rate = fault_rate
+        self.margin_rate = margin_rate
+        self.max_tokens = max_tokens
+        self.max_attempts = max_attempts
+        self.sampler = FaultSampler(seed)
+
+    def generate(self, budget: int) -> List[Scenario]:
+        """The first ``budget`` scenarios of this seed's matrix."""
+        return [self.scenario(index) for index in range(budget)]
+
+    def scenario(self, index: int) -> Scenario:
+        """Scenario ``index`` — a pure function of ``(seed, index)``."""
+        for attempt in range(self.max_attempts):
+            candidate = self._sample(index, attempt)
+            if candidate is not None:
+                return candidate
+        return self._fallback(index)
+
+    def self_tests(self) -> List[Scenario]:
+        """Deliberately mis-sized scenarios the oracles *must* catch.
+
+        Negative indices keep them out of the budgeted matrix; the bursty
+        synthetic application is the regime where under-sized thresholds
+        and capacities demonstrably false-positive (the A1/A3 ablations).
+        """
+        app = SyntheticApp.bursty(seed=0)
+        models = SyntheticModels(
+            producer=app.producer_model,
+            replicas=(app.replica_input_models[0],
+                      app.replica_input_models[1]),
+            consumer=app.consumer_model,
+        )
+        tests = []
+        for offset, missize in enumerate(_MISSIZES):
+            rng = derive_rng(self.seed, "selftest", missize)
+            tests.append(
+                Scenario(
+                    index=-(offset + 1),
+                    app="synthetic-bursty",
+                    tokens=160,
+                    warmup_tokens=0,
+                    seed=rng.randrange(1_000_000),
+                    models=models,
+                    fault=None,
+                    missize=missize,
+                    expect_violation=True,
+                )
+            )
+        return tests
+
+    # -- internals ---------------------------------------------------------
+
+    def _sample(self, index: int, attempt: int) -> Optional[Scenario]:
+        rng = derive_rng(self.seed, "scenario", index, attempt)
+        names = [name for name, _ in self.app_weights]
+        weights = [weight for _, weight in self.app_weights]
+        name = rng.choices(names, weights=weights, k=1)[0]
+
+        app_seed = 0
+        models = None
+        if name == "synthetic-rand":
+            app = SyntheticApp.randomized(rng)
+        elif name == "synthetic-bursty":
+            app = SyntheticApp.bursty(
+                period=round(rng.uniform(6.0, 12.0), 1),
+                burst=rng.choice((3, 4, 5)),
+            )
+        else:
+            app_seed = rng.randrange(1000)
+            app = _REGISTRY[name](AppScale(), seed=app_seed)
+        if isinstance(app, SyntheticApp):
+            models = SyntheticModels(
+                producer=app.producer_model,
+                replicas=(app.replica_input_models[0],
+                          app.replica_input_models[1]),
+                consumer=app.consumer_model,
+            )
+
+        warmup = rng.randint(25, 60)
+        fault = None
+        if rng.random() < self.fault_rate:
+            fault = self.sampler.sample(
+                index, app.producer_model.period, warmup
+            )
+        margin = 1.0
+        if rng.random() < self.margin_rate:
+            margin = rng.choice(MARGIN_CHOICES)
+
+        tokens = warmup + self._post_tokens(app, fault)
+        if tokens > self.max_tokens:
+            return None
+        return Scenario(
+            index=index,
+            app=app.name if models is not None else name,
+            tokens=tokens,
+            warmup_tokens=warmup,
+            seed=rng.randrange(1_000_000),
+            app_seed=app_seed,
+            models=models,
+            fault=fault,
+            capacity_margin=margin,
+        )
+
+    def _post_tokens(self, app: StreamingApplication,
+                     fault: Optional[FaultSpec]) -> int:
+        """Tokens past the warmup so detection fits inside the run.
+
+        The stream must outlive the worst-case Eq. 8 window (in producer
+        periods) plus threshold-sized slack; a rate-degradation fault
+        stretches the window by ``s / (s - 1)`` because the limping
+        replica keeps delivering at ``1/s`` of its rate.
+        """
+        sizing = app.sizing()
+        period = app.producer_model.period
+        bound = max(sizing.selector_detection_bound,
+                    sizing.replicator_detection_bound)
+        slack = 2 * max(sizing.selector_threshold,
+                        sizing.replicator_threshold)
+        post = int(math.ceil(bound / period)) + slack + 8
+        if fault is not None and fault.kind == RATE_DEGRADE:
+            factor = fault.slowdown / (fault.slowdown - 1.0)
+            post = int(math.ceil(post * factor))
+        return post
+
+    def _fallback(self, index: int) -> Scenario:
+        """A known-small scenario when every sampled draw was infeasible."""
+        rng = derive_rng(self.seed, "fallback", index)
+        app = SyntheticApp()
+        models = SyntheticModels(
+            producer=app.producer_model,
+            replicas=(app.replica_input_models[0],
+                      app.replica_input_models[1]),
+            consumer=app.consumer_model,
+        )
+        warmup = rng.randint(25, 60)
+        fault = None
+        if rng.random() < self.fault_rate:
+            fault = self.sampler.sample(
+                index, app.producer_model.period, warmup
+            )
+        return Scenario(
+            index=index,
+            app=app.name,
+            tokens=warmup + self._post_tokens(app, fault),
+            warmup_tokens=warmup,
+            seed=rng.randrange(1_000_000),
+            models=models,
+            fault=fault,
+        )

@@ -25,6 +25,12 @@ Commands
 ``reproduce``
     Run the full evaluation (all apps, all tables) and write a markdown
     reproduction report with pass/fail verdicts.
+``campaign``
+    Run a randomized fault-injection campaign: a seeded scenario matrix
+    judged by the paper-derived invariant oracles, failures shrunk to
+    minimal reproducers.  ``--out-dir`` persists the campaign report and
+    reproducer JSON files; ``--replay`` re-executes previously saved
+    reproducers instead.  Exits nonzero on any surviving violation.
 
 ``tables`` and ``reproduce`` drive their sweeps through the
 :mod:`repro.exec` executor: ``--jobs/-j N`` fans runs across N worker
@@ -285,6 +291,95 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignConfig,
+        Reproducer,
+        ReproducerError,
+        build_campaign_report,
+        load_reproducer,
+        render_campaign_report,
+        replay_reproducer,
+        run_campaign,
+        save_reproducer,
+        save_run_report,
+        validate_campaign_report,
+    )
+    from repro.kpn.errors import SimulationError
+
+    jobs, cache = _sweep_options(args)
+
+    if args.replay:
+        # Replay previously saved reproducers.  A corrupt file is
+        # quarantined with its named error; it never crashes the loop.
+        failures = 0
+        for path in args.replay:
+            try:
+                reproducer = load_reproducer(path)
+            except ReproducerError as error:
+                print(f"SKIP {path}: {error}", file=sys.stderr)
+                failures += 1
+                continue
+            outcome = replay_reproducer(reproducer, jobs=jobs, cache=cache)
+            reproduced = reproducer.matches(outcome)
+            status = "reproduced" if reproduced else "NOT reproduced"
+            print(f"{path}: {outcome.scenario.label()} -> {status} "
+                  f"({', '.join(reproducer.target_oracles)})")
+            for violation in outcome.violations:
+                print(f"  {violation.oracle}: {violation.message}")
+            if not reproduced:
+                failures += 1
+        return 1 if failures else 0
+
+    config = CampaignConfig(
+        seed=args.seed,
+        budget=args.budget,
+        jobs=jobs,
+        oracles=tuple(args.oracle or ()),
+        self_tests=not args.no_self_tests,
+        shrink=not args.no_shrink,
+        cache=cache,
+    )
+    result = run_campaign(
+        config, progress=lambda message: print(f"  {message}")
+    )
+    report = build_campaign_report(result)
+    validate_campaign_report(report)
+    print()
+    print(render_campaign_report(report))
+
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = out_dir / "campaign-report.json"
+        report_path.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"\ncampaign report written to {report_path}")
+        for digest, shrunk in sorted(result.shrunk.items()):
+            reproducer = Reproducer(
+                scenario=shrunk.minimal,
+                target_oracles=shrunk.target_oracles,
+                violations=shrunk.violations,
+                campaign_seed=config.seed,
+            )
+            path = save_reproducer(
+                reproducer, out_dir / f"reproducer-{digest[:16]}.json"
+            )
+            print(f"reproducer written to {path}")
+            try:
+                report_artifact = save_run_report(
+                    shrunk.minimal,
+                    out_dir / f"run-report-{digest[:16]}.json",
+                )
+            except SimulationError as error:
+                print(f"run report skipped (run aborts): {error}")
+            else:
+                print(f"run report written to {report_artifact}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -381,6 +476,34 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--trace-out", metavar="PATH",
                      help="write a Chrome/Perfetto trace of the run here")
     rep.set_defaults(func=_cmd_report)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="randomized fault-injection campaign with invariant oracles",
+    )
+    campaign.add_argument("--budget", type=int, default=100,
+                          help="number of generated scenarios")
+    campaign.add_argument("--seed", type=int, default=7,
+                          help="campaign seed (scenario matrix + faults)")
+    campaign.add_argument(
+        "--oracle", action="append", metavar="NAME",
+        choices=["run-ok", "no-false-positive", "isolation",
+                 "detection-latency", "equivalence"],
+        help="restrict to this oracle (repeatable; default: all)",
+    )
+    campaign.add_argument("--out-dir", metavar="DIR",
+                          help="write campaign-report.json and reproducer "
+                               "files here")
+    campaign.add_argument("--no-self-tests", action="store_true",
+                          help="skip the deliberately mis-sized oracle "
+                               "self-test scenarios")
+    campaign.add_argument("--no-shrink", action="store_true",
+                          help="skip shrinking violated scenarios")
+    campaign.add_argument("--replay", nargs="+", metavar="FILE",
+                          help="replay saved reproducer files instead of "
+                               "running a campaign")
+    _add_sweep_arguments(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 

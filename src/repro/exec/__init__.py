@@ -33,6 +33,8 @@ from repro.exec.taskspec import (
     TaskSpec,
     TaskSpecError,
     build_app,
+    spec_from_jsonable,
+    spec_to_jsonable,
 )
 from repro.exec.worker import execute_task, run_chunk
 
@@ -58,4 +60,6 @@ __all__ = [
     "hash_values",
     "run_chunk",
     "run_sweep",
+    "spec_from_jsonable",
+    "spec_to_jsonable",
 ]

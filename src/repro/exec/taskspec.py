@@ -302,6 +302,97 @@ def _app_fields(app: StreamingApplication) -> Dict[str, object]:
     )
 
 
+# -- JSON round-trip -------------------------------------------------------
+#
+# The campaign layer persists minimal reproducers as *replayable TaskSpec
+# JSON* (human-diffable, unlike the pickle cache).  Encoding tags every
+# nested dataclass with its type name; decoding rebuilds the object graph
+# through the constructors, so validation in ``__post_init__`` re-runs on
+# load and malformed documents fail loudly.
+
+_JSON_TYPES: Dict[str, type] = {}
+
+#: Dataclass fields that must be decoded back into tuples (JSON only has
+#: arrays); everything else keeps the list/scalar shape it decoded to.
+_TUPLE_FIELDS = {
+    "SyntheticAppSpec": ("replicas",),
+    "SizingResult": (
+        "replicator_capacities",
+        "selector_capacities",
+        "selector_initial_fill",
+    ),
+}
+
+
+def _register_json_types() -> None:
+    if _JSON_TYPES:
+        return
+    from repro.faults.models import FaultSpec as _FaultSpec
+
+    for cls in (TaskSpec, SyntheticAppSpec, DistanceMonitorSpec, PJD,
+                SizingResult, _FaultSpec):
+        _JSON_TYPES[cls.__name__] = cls
+
+
+def spec_to_jsonable(obj):
+    """Encode a :class:`TaskSpec` (or nested spec dataclass) for JSON."""
+    _register_json_types()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _JSON_TYPES:
+            raise TaskSpecError(
+                f"cannot encode {name!r} as replayable JSON"
+            )
+        body = {
+            f.name: spec_to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        body["__type__"] = name
+        return body
+    if isinstance(obj, (list, tuple)):
+        return [spec_to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): spec_to_jsonable(val) for key, val in obj.items()}
+    raise TaskSpecError(
+        f"cannot encode {type(obj).__name__!r} as replayable JSON"
+    )
+
+
+def spec_from_jsonable(data):
+    """Decode the output of :func:`spec_to_jsonable`.
+
+    Raises :class:`TaskSpecError` on unknown tags or constructor-rejected
+    values (the dataclass validators re-run on decode).
+    """
+    _register_json_types()
+    if isinstance(data, dict) and "__type__" in data:
+        name = data["__type__"]
+        cls = _JSON_TYPES.get(name)
+        if cls is None:
+            raise TaskSpecError(f"unknown spec type {name!r} in JSON")
+        kwargs = {
+            key: spec_from_jsonable(value)
+            for key, value in data.items()
+            if key != "__type__"
+        }
+        for field_name in _TUPLE_FIELDS.get(name, ()):
+            if isinstance(kwargs.get(field_name), list):
+                kwargs[field_name] = tuple(kwargs[field_name])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as error:
+            raise TaskSpecError(
+                f"invalid {name} in replayable JSON: {error}"
+            ) from error
+    if isinstance(data, dict):
+        return {key: spec_from_jsonable(val) for key, val in data.items()}
+    if isinstance(data, list):
+        return [spec_from_jsonable(item) for item in data]
+    return data
+
+
 def build_app(spec: TaskSpec) -> StreamingApplication:
     """Reconstruct the application an executed spec describes."""
     from repro.apps.synthetic import SyntheticApp

@@ -26,6 +26,10 @@ from repro.faults.scenarios import (  # noqa: E402
     phase_sweep,
     scenario_matrix,
 )
+from repro.faults.sampling import (  # noqa: E402
+    FaultSampler,
+    derive_rng,
+)
 
 __all__ += ["PhasePoint", "ScenarioResult", "phase_sweep",
-            "scenario_matrix"]
+            "scenario_matrix", "FaultSampler", "derive_rng"]

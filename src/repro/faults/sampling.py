@@ -1,0 +1,83 @@
+"""Seeded random sampling of fault specifications.
+
+Every random draw in the fault layer flows through an *explicit* seed —
+never the global :mod:`random` state — so that a campaign's scenario
+matrix is a pure function of its seed.  Two properties are load-bearing
+for the campaign engine (and regression-tested in
+``tests/faults/test_sampling.py``):
+
+* **order independence** — the fault for scenario ``i`` depends only on
+  ``(seed, i)``, not on how many or in which order other scenarios were
+  sampled.  :func:`derive_rng` keys an independent stream per index, so
+  parallel generation, partial re-generation (shrinking) and full-matrix
+  generation all agree;
+* **process independence** — the derivation hashes with SHA-256 rather
+  than Python's randomized ``hash()``, so a forked worker or a fresh
+  interpreter reproduces the identical stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+
+
+def derive_rng(seed: int, *path: object) -> random.Random:
+    """An independent RNG stream keyed by ``(seed, *path)``.
+
+    The key material is hashed with SHA-256, so streams for distinct
+    paths are statistically independent and the result never depends on
+    ``PYTHONHASHSEED`` or on any previously drawn values.
+    """
+    material = ":".join([str(seed), *(str(part) for part in path)])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class FaultSampler:
+    """Samples one :class:`FaultSpec` per scenario index.
+
+    Attributes
+    ----------
+    seed:
+        Campaign seed; each index derives its own stream from it.
+    fail_stop_weight:
+        Probability of a fail-stop (vs rate-degradation) fault.
+    slowdowns:
+        Service-time factors drawn for rate-degradation faults.
+    phase_range:
+        Injection phase within the period following the warmup-th
+        producer release (the "least favourable phase" axis of
+        Section 3.4's detection-time analysis).
+    """
+
+    seed: int
+    fail_stop_weight: float = 0.75
+    slowdowns: Tuple[float, ...] = (2.5, 3.0, 4.0, 6.0)
+    phase_range: Tuple[float, float] = (0.05, 0.95)
+
+    def sample(self, index: int, period: float,
+               warmup_tokens: int) -> FaultSpec:
+        """The fault for scenario ``index`` of an app with ``period``.
+
+        The injection instant lands ``phase`` of a period past the
+        ``warmup_tokens``-th producer release, mirroring
+        :func:`~repro.experiments.runner.fault_time_for`.
+        """
+        rng = derive_rng(self.seed, "fault", index)
+        replica = rng.randrange(2)
+        phase = rng.uniform(*self.phase_range)
+        time = (warmup_tokens + phase) * period
+        if rng.random() < self.fail_stop_weight:
+            return FaultSpec(replica=replica, time=time, kind=FAIL_STOP)
+        return FaultSpec(
+            replica=replica,
+            time=time,
+            kind=RATE_DEGRADE,
+            slowdown=rng.choice(list(self.slowdowns)),
+        )

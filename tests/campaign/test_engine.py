@@ -1,0 +1,173 @@
+"""Campaign engine tests: verdict semantics, wiring, determinism.
+
+Verdict logic is pinned with hand-built :class:`TaskResult` fakes (no
+simulation); the end-to-end wiring tests run tiny real campaigns —
+small token budgets keep them in tier-1 territory.
+"""
+
+from repro.campaign.engine import (
+    VERDICT_EXPECTED,
+    VERDICT_MISSED,
+    VERDICT_PASS,
+    VERDICT_VIOLATION,
+    CampaignConfig,
+    CampaignResult,
+    evaluate_scenario,
+    run_campaign,
+    run_scenario,
+)
+from repro.campaign.scenario import (
+    MISSIZE_CAPACITY,
+    Scenario,
+    SyntheticModels,
+)
+from repro.exec import KIND_DUPLICATED, KIND_REFERENCE
+from repro.exec.results import DetectionRecord, TaskResult
+from repro.rtc.pjd import PJD
+
+
+def _models():
+    return SyntheticModels(
+        producer=PJD(10.0, 1.0, 10.0),
+        replicas=(PJD(10.0, 2.0, 10.0), PJD(10.0, 8.0, 10.0)),
+        consumer=PJD(10.0, 1.0, 10.0),
+    )
+
+
+def _scenario(**kwargs):
+    defaults = dict(index=0, app="synthetic", tokens=60, warmup_tokens=20,
+                    seed=5, models=_models())
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+def _clean(kind):
+    return TaskResult(kind=kind, value_hashes=["h1", "h2", "h3"])
+
+
+def _false_positive(kind):
+    return TaskResult(
+        kind=kind,
+        value_hashes=["h1", "h2", "h3"],
+        detections=[DetectionRecord(time=100.0, site="selector",
+                                    replica=0, mechanism="divergence")],
+    )
+
+
+class TestVerdicts:
+    def test_clean_scenario_passes(self):
+        outcome = evaluate_scenario(
+            _scenario(), _clean(KIND_REFERENCE), _clean(KIND_DUPLICATED)
+        )
+        assert outcome.verdict == VERDICT_PASS
+        assert outcome.passed
+
+    def test_unexpected_violation(self):
+        outcome = evaluate_scenario(
+            _scenario(), _clean(KIND_REFERENCE),
+            _false_positive(KIND_DUPLICATED),
+        )
+        assert outcome.verdict == VERDICT_VIOLATION
+        assert not outcome.passed
+        assert {v.oracle for v in outcome.violations} == {
+            "no-false-positive"
+        }
+
+    def test_self_test_passes_by_violating(self):
+        selftest = _scenario(missize=MISSIZE_CAPACITY,
+                             expect_violation=True)
+        outcome = evaluate_scenario(
+            selftest, _clean(KIND_REFERENCE),
+            _false_positive(KIND_DUPLICATED),
+        )
+        assert outcome.verdict == VERDICT_EXPECTED
+        assert outcome.passed
+
+    def test_self_test_that_stays_silent_fails(self):
+        selftest = _scenario(missize=MISSIZE_CAPACITY,
+                             expect_violation=True)
+        outcome = evaluate_scenario(
+            selftest, _clean(KIND_REFERENCE), _clean(KIND_DUPLICATED)
+        )
+        assert outcome.verdict == VERDICT_MISSED
+        assert not outcome.passed
+
+
+class TestCampaignDigest:
+    def _result(self, verdict_outcomes):
+        result = CampaignResult(seed=7, budget=2, oracle_names=("run-ok",))
+        result.outcomes = verdict_outcomes
+        return result
+
+    def _outcome(self, scenario, violating):
+        duplicated = (_false_positive(KIND_DUPLICATED) if violating
+                      else _clean(KIND_DUPLICATED))
+        return evaluate_scenario(scenario, _clean(KIND_REFERENCE),
+                                 duplicated)
+
+    def test_digest_reflects_verdicts(self):
+        scenario = _scenario()
+        passing = self._result([self._outcome(scenario, violating=False)])
+        failing = self._result([self._outcome(scenario, violating=True)])
+        assert passing.digest() != failing.digest()
+
+    def test_digest_stable_for_equal_content(self):
+        a = self._result([self._outcome(_scenario(), violating=False)])
+        b = self._result([self._outcome(_scenario(), violating=False)])
+        assert a.digest() == b.digest()
+
+    def test_failures_and_ok(self):
+        outcome = self._outcome(_scenario(), violating=True)
+        result = self._result([outcome])
+        assert result.failures == [outcome]
+        assert not result.ok
+        assert self._result(
+            [self._outcome(_scenario(), violating=False)]
+        ).ok
+
+
+class TestExecution:
+    def test_run_scenario_returns_ordered_pair(self):
+        reference, duplicated = run_scenario(_scenario(tokens=40,
+                                                       warmup_tokens=10))
+        assert reference.kind == KIND_REFERENCE
+        assert duplicated.kind == KIND_DUPLICATED
+        assert reference.ok and duplicated.ok
+        assert duplicated.value_hashes == reference.value_hashes
+
+    def test_campaign_is_deterministic(self):
+        config = CampaignConfig(seed=7, budget=3, self_tests=False,
+                                shrink=False)
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert first.digest() == second.digest()
+        assert [o.verdict for o in first.outcomes] == [
+            o.verdict for o in second.outcomes
+        ]
+        assert len(first.outcomes) == 3
+
+    def test_self_tests_are_caught_and_shrunk(self):
+        config = CampaignConfig(seed=7, budget=0, self_tests=True,
+                                shrink=True, max_shrink_runs=6)
+        messages = []
+        result = run_campaign(config, progress=messages.append)
+        assert len(result.outcomes) == 2
+        assert all(o.verdict == VERDICT_EXPECTED for o in result.outcomes)
+        assert result.ok  # self-tests pass by violating
+        # Every violated outcome gets a shrink entry keyed by its digest.
+        assert set(result.shrunk) == {o.digest for o in result.outcomes}
+        for outcome in result.outcomes:
+            shrink = result.shrunk[outcome.digest]
+            assert shrink.runs <= 6
+            assert shrink.target_oracles
+        assert any("generated 2 scenarios" in m for m in messages)
+
+    def test_oracle_subset_respected(self):
+        config = CampaignConfig(seed=7, budget=0, self_tests=True,
+                                shrink=False, oracles=("run-ok",))
+        result = run_campaign(config)
+        # Mis-sized self-tests still *complete*, so with only run-ok
+        # armed nothing barks and both self-tests are missed.
+        assert result.oracle_names == ("run-ok",)
+        assert all(o.verdict == VERDICT_MISSED for o in result.outcomes)
+        assert not result.ok

@@ -1,0 +1,34 @@
+"""Hypothesis settings profiles for the property-test suite.
+
+Two explicit profiles:
+
+* ``ci`` (default) — enough examples to catch regressions while keeping
+  tier-1 fast; no deadline (simulation-backed properties have heavy
+  single examples, and wall-clock deadlines make them flaky on loaded
+  runners).
+* ``thorough`` — a deeper nightly/adversarial search; select it with
+  ``HYPOTHESIS_PROFILE=thorough``.
+
+Tests must not pin ``max_examples`` locally — the profile is the single
+knob that scales the whole suite.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=600,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

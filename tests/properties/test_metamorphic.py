@@ -1,0 +1,146 @@
+"""Metamorphic tests for the design-time analysis (Eqs. 2-8).
+
+Instead of asserting absolute values, each test checks how a *known
+transformation of the inputs* must transform the outputs:
+
+* uniform time rescaling — token-count quantities (Eq. 3 capacities,
+  Eq. 4 fills, Eq. 5 thresholds) are dimensionless and must not move,
+  while latency bounds (Eqs. 6-8) scale linearly with time;
+* widening a replica's jitter never shrinks the divergence threshold D
+  (a looser model admits every behaviour of the tighter one, and Eq. 5
+  is a supremum over admitted behaviours);
+* the duplicated network's channel capacities dominate the plain
+  point-to-point Eq. 3 sizing of the corresponding reference-network
+  links (duplication adds buffering — the selector holds the priming
+  fill on top of the worst-case backlog);
+* Eq. 2 calibration commutes with affine time maps: fitting a scaled
+  and shifted trace yields the scaled model.
+"""
+
+import dataclasses
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.rtc.calibration import fit_pjd
+from repro.rtc.pjd import PJD
+from repro.rtc.sizing import fifo_capacity, size_duplicated_network
+from tests.properties.strategies import network_models
+
+scales = st.floats(min_value=0.1, max_value=20.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _scaled(model: PJD, factor: float) -> PJD:
+    return PJD(model.period * factor, model.jitter * factor,
+               model.min_distance * factor)
+
+
+def _sizing(models):
+    producer, replicas, consumer = models
+    return size_duplicated_network(producer, list(replicas),
+                                   list(replicas), consumer)
+
+
+@given(network_models(), scales)
+def test_time_rescaling_leaves_token_quantities_invariant(models, factor):
+    """Capacities, fills and thresholds count tokens — a change of time
+    unit must not move them."""
+    producer, replicas, consumer = models
+    base = _sizing(models)
+    scaled = _sizing((
+        _scaled(producer, factor),
+        tuple(_scaled(m, factor) for m in replicas),
+        _scaled(consumer, factor),
+    ))
+    assert scaled.replicator_capacities == base.replicator_capacities
+    assert scaled.selector_capacities == base.selector_capacities
+    assert scaled.selector_initial_fill == base.selector_initial_fill
+    assert scaled.selector_threshold == base.selector_threshold
+    assert scaled.replicator_threshold == base.replicator_threshold
+
+
+@given(network_models(), scales)
+def test_time_rescaling_scales_latency_bounds_linearly(models, factor):
+    """Eqs. 6-8 are windows in time: they must scale with the time unit."""
+    producer, replicas, consumer = models
+    base = _sizing(models)
+    scaled = _sizing((
+        _scaled(producer, factor),
+        tuple(_scaled(m, factor) for m in replicas),
+        _scaled(consumer, factor),
+    ))
+    tolerance = 1e-6 * max(1.0, factor)
+    assert abs(
+        scaled.selector_detection_bound
+        - base.selector_detection_bound * factor
+    ) <= tolerance * max(1.0, base.selector_detection_bound)
+    assert abs(
+        scaled.replicator_detection_bound
+        - base.replicator_detection_bound * factor
+    ) <= tolerance * max(1.0, base.replicator_detection_bound)
+
+
+@given(network_models(),
+       st.floats(min_value=1.0, max_value=3.0,
+                 allow_nan=False, allow_infinity=False))
+def test_widening_jitter_never_shrinks_threshold(models, widen):
+    """A looser replica model admits every behaviour of the tighter one,
+    so the Eq. 5 supremum — and with it D — can only grow.  (Read the
+    contrapositive: *tightening* jitter never shrinks the guarantee.)"""
+    producer, replicas, consumer = models
+    base = _sizing(models)
+    wider = tuple(
+        dataclasses.replace(m, jitter=m.jitter * widen) for m in replicas
+    )
+    loose = _sizing((producer, wider, consumer))
+    assert loose.selector_threshold >= base.selector_threshold
+    assert loose.replicator_threshold >= base.replicator_threshold
+
+
+@given(network_models())
+def test_duplicated_sizing_dominates_reference_links(models):
+    """Every duplicated-network channel must buffer at least what the
+    plain Eq. 3 sizing of the corresponding reference link needs: the
+    replicator FIFO k is exactly that link's FIFO, and the selector adds
+    the Eq. 4 priming on top of the replica-to-consumer backlog."""
+    producer, replicas, consumer = models
+    sizing = _sizing(models)
+    for k, replica in enumerate(replicas):
+        reference_in = fifo_capacity(producer.upper(), replica.lower())
+        assert sizing.replicator_capacities[k] >= reference_in
+        reference_out = fifo_capacity(replica.upper(), consumer.lower())
+        assert sizing.selector_capacities[k] >= reference_out
+    # The shared selector FIFO additionally holds the priming tokens.
+    assert sizing.selector_fifo_size >= sizing.selector_priming
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                       allow_nan=False, allow_infinity=False),
+             min_size=3, max_size=40, unique=True),
+    st.floats(min_value=0.5, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+)
+def test_fit_pjd_commutes_with_affine_time_maps(timestamps, factor,
+                                                shift):
+    """Eq. 2 calibration: scaling a trace by ``s`` and shifting it must
+    scale the fitted period/jitter/distance by ``s`` exactly (shifts
+    cancel — the model describes inter-event structure only)."""
+    times = sorted(timestamps)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assume(min(gaps) > 1e-3)
+    base = fit_pjd(times)
+    mapped = fit_pjd([t * factor + shift for t in times])
+    relative = 1e-6 + 1e-9 * abs(shift)
+    assert abs(mapped.period - base.period * factor) <= (
+        relative * max(1.0, base.period * factor)
+    )
+    assert abs(mapped.jitter - base.jitter * factor) <= (
+        relative * max(1.0, base.jitter * factor) + 1e-6
+    )
+    assert abs(mapped.min_distance - base.min_distance * factor) <= (
+        relative * max(1.0, base.min_distance * factor) + 1e-6
+    )

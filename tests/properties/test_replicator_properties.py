@@ -1,22 +1,19 @@
-"""Property-based tests of the replicator's duplication invariants."""
+"""Property-based tests of the replicator's duplication invariants.
 
-from hypothesis import given, settings
+Interleavings come from the shared ``strategies`` module; example counts
+from the ``ci``/``thorough`` profiles in ``conftest.py``.
+"""
+
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.replicator import ReplicatorChannel
 from repro.kpn.tokens import Token
+from tests.properties.strategies import interleavings
 
-
-@st.composite
-def interleavings(draw):
-    """Steps: 0 = producer writes, 1 = replica 1 reads, 2 = replica 2
-    reads (blocked operations are skipped, as a parked process would
-    wait)."""
-    length = draw(st.integers(min_value=1, max_value=50))
-    return draw(
-        st.lists(st.integers(min_value=0, max_value=2),
-                 min_size=length, max_size=length)
-    )
+#: Step meaning: 0 = producer writes, 1 = replica 1 reads, 2 = replica 2
+#: reads (blocked operations are skipped, as a parked process would wait).
+schedules = interleavings(symbols=3, max_size=50)
 
 
 def drive(replicator, steps):
@@ -38,8 +35,7 @@ def drive(replicator, steps):
     return received
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_each_replica_sees_prefix_in_order(steps):
     replicator = ReplicatorChannel("r", capacities=(3, 3),
                                    strict_single_fault=False)
@@ -48,8 +44,7 @@ def test_each_replica_sees_prefix_in_order(steps):
         assert sequence == list(range(1, len(sequence) + 1))
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_fill_conservation_per_queue(steps):
     replicator = ReplicatorChannel("r", capacities=(3, 3),
                                    strict_single_fault=False)
@@ -61,8 +56,7 @@ def test_fill_conservation_per_queue(steps):
         assert 0 <= replicator.fill(k) <= replicator.capacities[k]
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_fault_flag_iff_queue_was_full_at_write(steps):
     """Overflow detection soundness: a flagged replica really had a full
     queue while the other side kept moving."""
@@ -80,8 +74,7 @@ def test_fault_flag_iff_queue_was_full_at_write(steps):
         assert len(replicator.log) == 0
 
 
-@settings(max_examples=100)
-@given(interleavings(), st.integers(min_value=1, max_value=6))
+@given(schedules, st.integers(min_value=1, max_value=6))
 def test_divergence_flag_implies_true_lag(steps, threshold):
     replicator = ReplicatorChannel("r", capacities=(50, 50),
                                    divergence_threshold=threshold,

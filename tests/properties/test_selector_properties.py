@@ -2,27 +2,21 @@
 
 Driven directly at the channel protocol level with arbitrary interleaved
 (but per-interface sequential) write orders and interleaved reads — the
-adversarial schedules a real network could produce.
+adversarial schedules a real network could produce.  Interleavings come
+from the shared ``strategies`` module; example counts from the
+``ci``/``thorough`` profiles in ``conftest.py``.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.selector import SelectorChannel
 from repro.kpn.tokens import Token
+from tests.properties.strategies import interleavings
 
-
-@st.composite
-def interleavings(draw):
-    """An arbitrary interleaving of two replicas' token streams and
-    consumer reads, with per-interface sequence numbers in order."""
-    length = draw(st.integers(min_value=1, max_value=40))
-    # Each step: 0 = replica 1 writes next, 1 = replica 2 writes next,
-    # 2 = consumer attempts a read.
-    return draw(
-        st.lists(st.integers(min_value=0, max_value=2),
-                 min_size=length, max_size=length)
-    )
+#: Step meaning: 0 = replica 1 writes next, 1 = replica 2 writes next,
+#: 2 = consumer attempts a read.
+schedules = interleavings(symbols=3, max_size=40)
 
 
 def drive(selector, steps):
@@ -46,8 +40,7 @@ def drive(selector, steps):
     return received, next_seq
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_consumer_sees_each_seqno_once_in_order(steps):
     selector = SelectorChannel("sel", capacities=(6, 6),
                                divergence_threshold=None)
@@ -65,8 +58,7 @@ def _merge_only(selector):
     return selector
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_fill_conservation(steps):
     selector = _merge_only(
         SelectorChannel("sel", capacities=(6, 6),
@@ -80,8 +72,7 @@ def test_fill_conservation(steps):
     assert 0 <= selector.fill <= selector.fifo_size
 
 
-@settings(max_examples=120)
-@given(interleavings())
+@given(schedules)
 def test_isolation_lemma1(steps):
     """space_k is only ever changed by interface k's writes and the
     consumer's reads — never by the other interface (Lemma 1)."""
@@ -95,7 +86,6 @@ def test_isolation_lemma1(steps):
         assert selector.space[k] == expected
 
 
-@settings(max_examples=80)
 @given(st.lists(st.booleans(), min_size=1, max_size=40))
 def test_balanced_replicas_never_flagged(pair_or_read):
     """When the replicas stay in lock-step (every pair written together),

@@ -1,7 +1,11 @@
 """Property-based tests of the design-time analysis (monotonicity and
-soundness relations between Eqs. 3-8)."""
+soundness relations between Eqs. 3-8).
 
-from hypothesis import given, settings
+Example counts come from the ``ci``/``thorough`` profiles registered in
+``conftest.py``; model generators come from ``strategies.py``.
+"""
+
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.rtc.pjd import PJD
@@ -10,14 +14,12 @@ from repro.rtc.sizing import (
     divergence_threshold,
     fifo_capacity,
     initial_fill,
+    size_duplicated_network,
 )
-
-periods = st.floats(min_value=1.0, max_value=50.0)
-jitters = st.floats(min_value=0.0, max_value=60.0)
+from tests.properties.strategies import jitters, network_models, periods
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters, jitters)
+@given(periods(), jitters(), jitters())
 def test_capacity_monotone_in_consumer_jitter(period, j_small, j_large):
     j_small, j_large = sorted((j_small, j_large))
     producer = PJD(period, 1.0, period).upper()
@@ -26,8 +28,7 @@ def test_capacity_monotone_in_consumer_jitter(period, j_small, j_large):
     assert loose >= tight
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters, jitters)
+@given(periods(), jitters(), jitters())
 def test_capacity_monotone_in_producer_jitter(period, j_small, j_large):
     j_small, j_large = sorted((j_small, j_large))
     consumer = PJD(period, 1.0, 0.0).lower()
@@ -36,8 +37,7 @@ def test_capacity_monotone_in_producer_jitter(period, j_small, j_large):
     assert loose >= tight
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters, jitters)
+@given(periods(), jitters(), jitters())
 def test_threshold_monotone_in_replica_jitter(period, j_small, j_large):
     j_small, j_large = sorted((j_small, j_large))
     base = PJD(period, 1.0, 0.0)
@@ -52,8 +52,7 @@ def test_threshold_monotone_in_replica_jitter(period, j_small, j_large):
     assert loose >= tight
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters, st.integers(min_value=1, max_value=8))
+@given(periods(), jitters(), st.integers(min_value=1, max_value=8))
 def test_bound_monotone_in_threshold(period, jitter, threshold):
     curve = PJD(period, jitter, 0.0).lower()
     smaller = detection_latency_bound_fail_stop([curve], threshold)
@@ -61,8 +60,7 @@ def test_bound_monotone_in_threshold(period, jitter, threshold):
     assert larger >= smaller
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters, st.integers(min_value=1, max_value=8))
+@given(periods(), jitters(), st.integers(min_value=1, max_value=8))
 def test_bound_at_least_required_tokens_times_period(period, jitter,
                                                      threshold):
     """Eq. 8 needs 2D - 1 tokens from the slowest stream: the bound can
@@ -72,8 +70,7 @@ def test_bound_at_least_required_tokens_times_period(period, jitter,
     assert bound >= (2 * threshold - 1) * period - 1e-6
 
 
-@settings(max_examples=40, deadline=None)
-@given(periods, jitters)
+@given(periods(), jitters())
 def test_initial_fill_covers_first_demand(period, jitter):
     """Eq. 4 soundness at delta -> 0+: the consumer's first read must be
     coverable by the pre-fill alone."""
@@ -81,3 +78,22 @@ def test_initial_fill_covers_first_demand(period, jitter):
     replica = PJD(period, jitter, 0.0)
     fill = initial_fill(consumer.upper(), replica.lower())
     assert fill >= 1
+
+
+@given(network_models())
+def test_full_sizing_well_formed(models):
+    """The end-to-end Section 3.4 computation yields positive, coherent
+    numbers for any feasible duplicated network."""
+    producer, replicas, consumer = models
+    sizing = size_duplicated_network(producer, list(replicas),
+                                     list(replicas), consumer)
+    assert all(c >= 1 for c in sizing.replicator_capacities)
+    assert all(c >= 1 for c in sizing.selector_capacities)
+    assert all(f >= 0 for f in sizing.selector_initial_fill)
+    assert sizing.selector_threshold >= 1
+    assert sizing.replicator_threshold >= 1
+    assert sizing.selector_detection_bound > 0
+    assert sizing.replicator_detection_bound > 0
+    # The shared FIFO rule: |S| and the priming fill are the maxima.
+    assert sizing.selector_fifo_size == max(sizing.selector_capacities)
+    assert sizing.selector_priming == max(sizing.selector_initial_fill)

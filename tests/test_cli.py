@@ -158,3 +158,67 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "events/sec" in out
         assert "tokens delivered" in out
+
+
+class TestCampaignCommand:
+    def test_small_campaign_passes(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "out"
+        code = main(["campaign", "--budget", "2", "--seed", "7",
+                     "--no-cache", "--no-self-tests", "--no-shrink",
+                     "--out-dir", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign: seed=7 budget=2" in out
+        assert "digest" in out
+        report = json.loads((out_dir / "campaign-report.json").read_text())
+        assert report["schema"] == "repro.campaign-report/1"
+        assert report["campaign"]["scenarios"] == 2
+
+    def test_oracle_flag_restricts_suite(self, capsys):
+        code = main(["campaign", "--budget", "1", "--seed", "7",
+                     "--no-cache", "--no-self-tests", "--no-shrink",
+                     "--oracle", "run-ok", "--oracle", "equivalence"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run-ok" in out
+        assert "no-false-positive" not in out
+
+    def test_replay_reproduces_saved_violation(self, tmp_path, capsys):
+        from repro.apps.synthetic import SyntheticApp
+        from repro.campaign import Reproducer, save_reproducer
+        from repro.campaign.scenario import (
+            MISSIZE_CAPACITY,
+            Scenario,
+            SyntheticModels,
+        )
+
+        app = SyntheticApp.bursty(seed=0)
+        models = SyntheticModels(
+            producer=app.producer_model,
+            replicas=(app.replica_input_models[0],
+                      app.replica_input_models[1]),
+            consumer=app.consumer_model,
+        )
+        scenario = Scenario(index=0, app="synthetic-bursty", tokens=40,
+                            warmup_tokens=0, seed=5, models=models,
+                            missize=MISSIZE_CAPACITY,
+                            expect_violation=True)
+        path = save_reproducer(
+            Reproducer(scenario=scenario,
+                       target_oracles=("no-false-positive",)),
+            tmp_path / "r.json",
+        )
+        code = main(["campaign", "--no-cache", "--replay", str(path)])
+        assert code == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_replay_quarantines_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ rotten")
+        code = main(["campaign", "--no-cache", "--replay", str(bad)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "SKIP" in captured.err
+        assert "not valid JSON" in captured.err
