@@ -31,6 +31,10 @@ Commands
     minimal reproducers.  ``--out-dir`` persists the campaign report and
     reproducer JSON files; ``--replay`` re-executes previously saved
     reproducers instead.  Exits nonzero on any surviving violation.
+``bench``
+    Run the primitive benchmark suite and append a labelled run to the
+    ``BENCH_primitives.json`` trajectory (the scripted replacement for
+    the manual capture flow; ``--dry-run`` compares without recording).
 
 ``tables`` and ``reproduce`` drive their sweeps through the
 :mod:`repro.exec` executor: ``--jobs/-j N`` fans runs across N worker
@@ -380,6 +384,51 @@ def _cmd_campaign(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.tools.bench_compare import (
+        BenchCompareError,
+        RESULTS_FILENAME,
+        _utc_now,
+        format_report,
+        load_db,
+        run_benchmarks,
+        save_db,
+    )
+
+    if args.repo_root is not None:
+        repo_root = Path(args.repo_root).resolve()
+    else:
+        # src/repro/cli.py -> repo root two levels above the package.
+        repo_root = Path(__file__).resolve().parents[2]
+    db_path = repo_root / RESULTS_FILENAME
+    try:
+        db = load_db(db_path)
+        if db is None:
+            print(f"error: no {RESULTS_FILENAME} at {repo_root}; "
+                  "bootstrap it with "
+                  "'python tools/bench_compare.py --update-baseline'",
+                  file=sys.stderr)
+            return 2
+        results = run_benchmarks(repo_root, smoke=False)
+    except BenchCompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"baseline: {db['baseline'].get('label', '?')} "
+          f"({db['baseline'].get('captured', '?')})")
+    print(format_report(db["baseline"]["results"], results))
+    if args.dry_run:
+        print("\ndry run: trajectory not recorded")
+        return 0
+    entry = {"label": args.label, "captured": _utc_now(),
+             "results": results}
+    db.setdefault("runs", []).append(entry)
+    save_db(db_path, db)
+    print(f"\nrun '{args.label}' appended to {db_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -504,6 +553,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "running a campaign")
     _add_sweep_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the primitive benchmarks and append a labelled run "
+             "to BENCH_primitives.json",
+    )
+    bench.add_argument("--label", required=True,
+                       help="label recorded with this run in the "
+                            "trajectory (e.g. the change being measured)")
+    bench.add_argument("--repo-root", default=None, metavar="DIR",
+                       help="repository root holding "
+                            "BENCH_primitives.json and benchmarks/ "
+                            "(default: auto-detected from the package)")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="print the comparison without appending "
+                            "to the trajectory")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -33,6 +33,7 @@ from repro.exec.taskspec import (
     TaskSpec,
     TaskSpecError,
     build_app,
+    presolve_sizings,
     spec_from_jsonable,
     spec_to_jsonable,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "TaskSpecError",
     "build_app",
     "execute_task",
+    "presolve_sizings",
     "hash_values",
     "run_chunk",
     "run_sweep",

@@ -26,7 +26,13 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.kpn.errors import ProtocolError
 from repro.kpn.tokens import Token
-from repro.kpn.trace import ChannelTrace
+from repro.kpn.trace import ChannelTrace, EventRecord
+
+#: Preallocated poll results for the payload-free statuses — the engine
+#: polls on every operation, so even these small tuples are worth sharing.
+_EMPTY = ("empty", None)
+_FULL = ("full", None)
+_OK_WRITE = ("ok", None)
 
 
 class ReadEndpoint:
@@ -97,17 +103,31 @@ class Fifo:
         self.capacity = capacity
         self._latency = transfer_latency
         self.trace = trace
-        self._queue: Deque[Tuple[float, Token]] = deque(
-            (0.0, token) for token in initial_tokens
-        )
+        #: Untimed channels (no transfer latency — the overwhelmingly
+        #: common case) queue bare tokens: a committed write is readable
+        #: immediately, so per-token ``(ready, token)`` pairs would only
+        #: ever carry a ready time in the past.  Timed channels keep the
+        #: pair representation.
+        self._timed = transfer_latency is not None
+        if self._timed:
+            self._queue: Deque = deque(
+                (0.0, token) for token in initial_tokens
+            )
+        else:
+            self._queue = deque(initial_tokens)
         if trace is not None and initial_tokens:
             trace.preset_fill(len(initial_tokens))
         if metrics is not None and metrics.enabled:
             self._m_fill = metrics.timeseries(f"chan.{name}.fill")
+            #: Zero-copy transport proof: counts committed writes whose
+            #: payload is a ``memoryview`` (a borrowed slice of another
+            #: token's bytes — no payload bytes were moved to build it).
+            self._m_zero_copy = metrics.counter(f"chan.{name}.zero_copy")
             if initial_tokens:
                 self._m_fill.append(0.0, len(self._queue))
         else:
             self._m_fill = None
+            self._m_zero_copy = None
         self._sim = None
         self._parked_readers: Deque = deque()
         self._parked_writers: Deque = deque()
@@ -141,26 +161,46 @@ class Fifo:
         return self.capacity - len(self._queue)
 
     def peek_ready_time(self) -> Optional[float]:
-        """Arrival time of the head token, or ``None`` if empty."""
+        """Arrival time of the head token, or ``None`` if empty.
+
+        Untimed channels (no ``transfer_latency``) do not retain arrival
+        instants — a queued token is readable immediately — so they
+        report ``0.0`` for any queued head.
+        """
         if not self._queue:
             return None
-        return self._queue[0][0]
+        if self._timed:
+            return self._queue[0][0]
+        return 0.0
 
     # -- channel protocol -----------------------------------------------------
 
     def poll_read(self, index: int, now: float):
         if index != 0:
             raise ProtocolError(f"{self.name}: bad read interface {index}")
-        if not self._queue:
-            return ("empty", None)
-        ready, token = self._queue[0]
-        if ready > now + 1e-12:
-            return ("wait", ready)
-        self._queue.popleft()
-        if self.trace is not None:
-            self.trace.on_read(now, token.seqno)
+        queue = self._queue
+        if not queue:
+            return _EMPTY
+        if self._timed:
+            ready, token = queue[0]
+            if ready > now + 1e-12:
+                return ("wait", ready)
+            queue.popleft()
+        else:
+            token = queue.popleft()
+        trace = self.trace
+        if trace is not None:
+            # Inlined ChannelTrace.on_read: one committed read per token
+            # on the engine's hottest path; the call overhead is
+            # measurable.  Token is a tuple — index 1 is ``seqno``.
+            if trace.fill <= 0:
+                trace.on_read(now, token[1])  # raises TraceError
+            trace.fill -= 1
+            trace.reads += 1
+            if trace.record_events:
+                trace.events.append(EventRecord(now, "read", token[1], 0))
         if self._m_fill is not None:
-            self._m_fill.append(now, len(self._queue))
+            self._m_fill.append(now, len(queue))
         if self._parked_writers:
             self._wake(self._parked_writers)
         return ("ok", token)
@@ -168,17 +208,30 @@ class Fifo:
     def poll_write(self, index: int, token: Token, now: float):
         if index != 0:
             raise ProtocolError(f"{self.name}: bad write interface {index}")
-        if len(self._queue) >= self.capacity:
-            return ("full", None)
-        delay = self._latency(token) if self._latency is not None else 0.0
-        self._queue.append((now + delay, token))
-        if self.trace is not None:
-            self.trace.on_write(now, token.seqno)
+        queue = self._queue
+        if len(queue) >= self.capacity:
+            return _FULL
+        if self._timed:
+            queue.append((now + self._latency(token), token))
+        else:
+            queue.append(token)
+        trace = self.trace
+        if trace is not None:
+            # Inlined ChannelTrace.on_write (see poll_read).
+            fill = trace.fill + 1
+            trace.fill = fill
+            trace.writes += 1
+            if fill > trace.max_fill:
+                trace.max_fill = fill
+            if trace.record_events:
+                trace.events.append(EventRecord(now, "write", token[1], 0))
         if self._m_fill is not None:
-            self._m_fill.append(now, len(self._queue))
+            self._m_fill.append(now, len(queue))
+            if type(token[0]) is memoryview:
+                self._m_zero_copy.inc()
         if self._parked_readers:
             self._wake(self._parked_readers)
-        return ("ok", None)
+        return _OK_WRITE
 
     def park_reader(self, index: int, handle) -> None:
         if not handle.is_parked:

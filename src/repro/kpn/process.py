@@ -15,6 +15,14 @@ shapes provided here cover the paper's experimental setup:
 
 Application-specific processes (split-stream, merge-frame, motion
 estimation, ...) subclass :class:`Process` directly in :mod:`repro.apps`.
+
+The standard shapes all reuse one operation record per kind across
+iterations (mutating ``duration`` / ``token`` between yields) instead of
+allocating a fresh record per yield — see :mod:`repro.kpn.operations` for
+why this is observationally identical.  Tokens are built through
+``tuple.__new__`` directly: one source constructs one token per event on
+the engine's hottest path, and bypassing even the ``Token.__new__``
+keyword machinery is measurable there.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from repro.kpn.errors import ProtocolError
 from repro.kpn.operations import Delay, Read, Write
 from repro.kpn.tokens import Token
 from repro.rtc.pjd import PJD
+
+_tuple_new = tuple.__new__
 
 
 def pjd_schedule(
@@ -46,27 +56,38 @@ def pjd_schedule(
     """
     if count < 0:
         raise ValueError("count must be >= 0")
-    times: List[float] = []
-    previous = -math.inf
+    if count == 0:
+        return []
     half_jitter = model.jitter / 2.0
     period = model.period
     min_distance = model.min_distance
-    # One vectorised draw is bit-identical to `count` scalar draws from
-    # the same generator state, so this keeps historical schedules exact.
-    # The min-distance recurrence below must stay scalar: rewriting it
-    # with accumulated maxima changes float rounding when the constraint
-    # binds.
-    if half_jitter > 0 and count > 0:
+    # Vectorised nominal instants.  ``start + i*period + phi_i`` evaluated
+    # elementwise in float64 performs the identical IEEE operation
+    # sequence as the historical scalar loop (left-associated add chain),
+    # so schedules — and therefore traces — stay bit-exact.  One
+    # vectorised ``uniform`` draw is likewise bit-identical to ``count``
+    # scalar draws from the same generator state.
+    if half_jitter > 0:
         offsets = rng.uniform(-half_jitter, half_jitter, size=count)
+        nominals = (start + np.arange(count) * period + offsets).tolist()
     else:
-        offsets = None
-    for i in range(count):
-        nominal = start + i * period
-        if offsets is not None:
-            nominal += offsets[i]
-        # float() keeps np.float64 out of schedules (and thus traces).
-        instant = float(max(nominal, previous + min_distance, 0.0))
-        times.append(instant)
+        nominals = (start + np.arange(count) * period).tolist()
+    # The min-distance recurrence must stay scalar: rewriting it with
+    # accumulated maxima changes float rounding when the constraint
+    # binds.  The branch chain replicates ``max(nominal, previous +
+    # min_distance, 0.0)`` exactly, including its keep-the-first-argument
+    # tie behaviour.
+    times: List[float] = []
+    append = times.append
+    previous = -math.inf
+    for nominal in nominals:
+        instant = nominal
+        floor_value = previous + min_distance
+        if floor_value > instant:
+            instant = floor_value
+        if 0.0 > instant:
+            instant = 0.0
+        append(instant)
         previous = instant
     return times
 
@@ -136,7 +157,9 @@ class PeriodicSource(Process):
         super().__init__(name)
         self.timing = timing
         self.count = count
-        self.payload = payload or (lambda i: (i, 0))
+        #: ``None`` means the default index payload; the behaviour loop
+        #: special-cases it to skip a callable dispatch per token.
+        self.payload = payload
         self.seed = seed
         self.start = start
         self.output: Optional[WriteEndpoint] = None
@@ -153,25 +176,31 @@ class PeriodicSource(Process):
         # clock can be read directly; virtual time only changes across a
         # yield, so it is cached in a local between yields.
         sim = self._sim
+        name = self.name
+        payload = self.payload
+        release_append = self.release_times.append
+        commit_append = self.commit_times.append
+        delay_op = Delay(0.0)
+        write_op = Write(self.output, None)
         for i, release in enumerate(schedule):
             now = sim._now
             wait = release - now
             if wait > 0:
-                yield Delay(wait)
+                delay_op.duration = wait
+                yield delay_op
                 now = sim._now
-            value, size = self.payload(i)
-            token = Token(
-                value=value,
-                seqno=i + 1,
-                stamp=now,
-                size_bytes=size,
-                origin=self.name,
-            )
-            self.release_times.append(now)
+            if payload is not None:
+                value, size = payload(i)
+            else:
+                value = i
+                size = 0
+            token = _tuple_new(Token, (value, i + 1, now, size, name))
+            release_append(now)
             before = now
-            yield Write(self.output, token)
+            write_op.token = token
+            yield write_op
             now = sim._now
-            self.commit_times.append(now)
+            commit_append(now)
             if now > before + 1e-12:
                 self.blocked_writes += 1
 
@@ -223,19 +252,25 @@ class PeriodicConsumer(Process):
         schedule = pjd_schedule(self.timing, self.count, rng, self.start)
         tie_epsilon = self.TIE_EPSILON
         sim = self._sim
+        keep = self.keep_values
+        arrival_append = self.arrival_times.append
+        token_append = self.tokens.append
+        delay_op = Delay(0.0)
+        read_op = Read(self.input)
         for demand in schedule:
             wait = demand + tie_epsilon - sim._now
             if wait > 0:
-                yield Delay(wait)
+                delay_op.duration = wait
+                yield delay_op
             attempt = sim._now
-            token = yield Read(self.input)
+            token = yield read_op
             now = sim._now
             if now > attempt + 1e-12:
                 self.stalls += 1
                 self.total_stall_time += now - attempt
-            self.arrival_times.append(now)
-            if self.keep_values:
-                self.tokens.append(token)
+            arrival_append(now)
+            if keep:
+                token_append(token)
 
     def inter_arrival_times(self) -> List[float]:
         """Gaps between consecutive read completions (Table 2's decoded
@@ -285,28 +320,31 @@ class FunctionProcess(Process):
         if self.input is None or self.output is None:
             raise ProtocolError(f"{self.name}: endpoints not connected")
         rng = np.random.default_rng(self.seed)
+        sim = self._sim
+        name = self.name
+        transform = self.transform
+        takes_seqno = self.takes_seqno
+        out_size = self.out_size
+        service_time = self._service_time
+        delay_op = Delay(0.0)
+        read_op = Read(self.input)
+        write_op = Write(self.output, None)
         while True:
-            token = yield Read(self.input)
-            duration = self._service_time(token, rng)
+            token = yield read_op
+            duration = service_time(token, rng)
             if duration > 0:
-                yield Delay(duration)
-            if self.takes_seqno:
-                value = self.transform(token.value, token.seqno)
+                delay_op.duration = duration
+                yield delay_op
+            seqno = token[1]
+            if takes_seqno:
+                value = transform(token[0], seqno)
             else:
-                value = self.transform(token.value)
-            size = (
-                self.out_size(value)
-                if self.out_size is not None
-                else token.size_bytes
+                value = transform(token[0])
+            size = out_size(value) if out_size is not None else token[3]
+            write_op.token = _tuple_new(
+                Token, (value, seqno, sim._now, size, name)
             )
-            out = Token(
-                value=value,
-                seqno=token.seqno,
-                stamp=self.now,
-                size_bytes=size,
-                origin=self.name,
-            )
-            yield Write(self.output, out)
+            yield write_op
             self.processed += 1
 
 
@@ -352,8 +390,16 @@ class PacedRelay(Process):
         half_jitter = self.timing.jitter / 2.0
         nominal = self.start
         previous = -math.inf
+        sim = self._sim
+        name = self.name
+        transform = self.transform
+        out_size = self.out_size
+        release_append = self.release_times.append
+        delay_op = Delay(0.0)
+        read_op = Read(self.input)
+        write_op = Write(self.output, None)
         while True:
-            token = yield Read(self.input)
+            token = yield read_op
             nominal += self.timing.period * self.slowdown
             target = nominal
             if half_jitter > 0:
@@ -361,31 +407,21 @@ class PacedRelay(Process):
             target = max(
                 target,
                 previous + self.timing.min_distance * self.slowdown,
-                self.now,
+                sim._now,
             )
-            wait = target - self.now
+            wait = target - sim._now
             if wait > 0:
-                yield Delay(wait)
-            previous = self.now
-            value = (
-                self.transform(token.value)
-                if self.transform is not None
-                else token.value
+                delay_op.duration = wait
+                yield delay_op
+            now = sim._now
+            previous = now
+            value = transform(token[0]) if transform is not None else token[0]
+            size = out_size(value) if out_size is not None else token[3]
+            write_op.token = _tuple_new(
+                Token, (value, token[1], now, size, name)
             )
-            size = (
-                self.out_size(value)
-                if self.out_size is not None
-                else token.size_bytes
-            )
-            out = Token(
-                value=value,
-                seqno=token.seqno,
-                stamp=self.now,
-                size_bytes=size,
-                origin=self.name,
-            )
-            self.release_times.append(self.now)
-            yield Write(self.output, out)
+            release_append(now)
+            yield write_op
 
 
 class RecordingSink(Process):
@@ -404,9 +440,12 @@ class RecordingSink(Process):
     def behavior(self):
         if self.input is None:
             raise ProtocolError(f"{self.name}: input endpoint not connected")
-        while self.limit is None or len(self.records) < self.limit:
-            token = yield Read(self.input)
-            self.records.append((self.now, token))
+        sim = self._sim
+        records = self.records
+        read_op = Read(self.input)
+        while self.limit is None or len(records) < self.limit:
+            token = yield read_op
+            records.append((sim._now, token))
 
     def values(self) -> List[Any]:
         """The received payload sequence."""

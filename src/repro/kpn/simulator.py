@@ -43,6 +43,9 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.kpn.errors import ProtocolError, SimulationError
 from repro.kpn.operations import Delay, Halt, Operation, Read, Write
+from repro.kpn.scheduler import CalendarQueue
+
+_heappush = heapq.heappush
 
 
 class ProcessState(Enum):
@@ -69,6 +72,7 @@ class ProcessHandle:
         "wake_scheduled",
         "is_parked",
         "block_start",
+        "resume_event",
     )
 
     def __init__(self, name: str, generator, owner: Any = None) -> None:
@@ -77,6 +81,10 @@ class ProcessHandle:
         self.owner = owner
         self.state = ProcessState.READY
         self.pending_op: Optional[Operation] = None
+        #: Reusable Delay-completion record.  A process can be inside at
+        #: most one ``Delay`` at a time, so one record per handle replaces
+        #: one allocation per delay — the most frequent event kind.
+        self.resume_event = ResumeEvent(self)
         #: A wake (retry) for this handle is already queued; channels may
         #: wake a party several times in one instant, the engine coalesces.
         self.wake_scheduled = False
@@ -172,7 +180,28 @@ class Simulator:
         stats = sim.run(until=10_000.0)
     """
 
-    def __init__(self, metrics: Any = None) -> None:
+    def __init__(
+        self,
+        metrics: Any = None,
+        scheduler: str = "calendar",
+        calendar_threshold: int = 8,
+    ) -> None:
+        if scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}"
+            )
+        #: Scheduler policy.  ``"calendar"`` (default) engages an O(1)
+        #: amortised :class:`~repro.kpn.scheduler.CalendarQueue` for the
+        #: duration of a :meth:`run` whenever the pending-event population
+        #: at run entry reaches ``calendar_threshold``; ``"heap"`` always
+        #: uses the plain binary heap.  Event order (and thus every trace)
+        #: is identical under both.
+        self.scheduler = scheduler
+        self.calendar_threshold = calendar_threshold
+        #: The engaged CalendarQueue during a calendar-mode run, else None.
+        #: Scheduling paths (`_push_event`, the Delay fast path) route
+        #: into it when set.
+        self._cal = None
         self._heap: List[Tuple[float, int, Any]] = []
         #: Direct-handoff run queue: ``(time, sequence, handle)`` wakes at
         #: the current instant, FIFO in sequence order.
@@ -246,15 +275,18 @@ class Simulator:
         self._push_event(time, CallbackEvent(action))
 
     def _push_event(self, time: float, event: Any) -> None:
-        """Push a typed event record onto the heap at ``time``."""
+        """Push a typed event record onto the event queue at ``time``."""
         if time < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule at {time} before now ({self._now})"
             )
         self._sequence += 1
-        heapq.heappush(
-            self._heap, (max(time, self._now), self._sequence, event)
-        )
+        entry = (max(time, self._now), self._sequence, event)
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            cal.push(entry)
 
     # -- process management -------------------------------------------------
 
@@ -324,19 +356,53 @@ class Simulator:
         Running out of events with parked processes is *quiescence* (the
         normal end of a finite streaming run), not an error; callers that
         consider it a deadlock can inspect ``stats.blocked_processes``.
+
+        Scheduler engagement happens here: with ``scheduler="calendar"``
+        and at least ``calendar_threshold`` pending events, the run is
+        driven from a :class:`~repro.kpn.scheduler.CalendarQueue` (O(1)
+        amortised scheduling); pending entries spill back to the plain
+        heap on exit so ``step()``/inspection keep working.  Event order
+        is identical either way.
         """
         stats = RunStats()
+        time_limit = float("inf") if until is None else until
+        event_limit = -1 if max_events is None else max_events
+        started = perf_counter()
+        if (
+            self.scheduler == "calendar"
+            and self._cal is None
+            and len(self._heap) >= self.calendar_threshold
+        ):
+            self._cal = CalendarQueue(self._heap)
+            self._heap = []
+            try:
+                events = self._drive_calendar(stats, time_limit, event_limit)
+            finally:
+                self._heap = self._cal.drain()
+                heapq.heapify(self._heap)
+                self._cal = None
+        else:
+            events = self._drive_heap(stats, time_limit, event_limit)
+        stats.events = events
+        stats.wall_time_s = perf_counter() - started
+        if stats.wall_time_s > 0:
+            stats.events_per_sec = stats.events / stats.wall_time_s
+        stats.end_time = self._now
+        stats.blocked_processes = self.blocked_processes()
+        return stats
+
+    def _drive_heap(
+        self, stats: RunStats, time_limit: float, event_limit: int
+    ) -> int:
+        """The binary-heap run loop (small populations, ``scheduler="heap"``)."""
         heap = self._heap
         runq = self._runq
         jump = _JUMP_TABLE
         pop = heapq.heappop
         advance = self._advance
         reattempt = self._reattempt
-        time_limit = float("inf") if until is None else until
-        event_limit = -1 if max_events is None else max_events
         events = 0
         runq_fired = 0
-        started = perf_counter()
         try:
             while heap or runq:
                 # The next event is the globally smallest (time, sequence)
@@ -393,13 +459,76 @@ class Simulator:
                 self._m_events.inc(events)
                 self._m_runq_wakes.inc(runq_fired)
                 self._m_heap_events.inc(events - runq_fired)
-        stats.events = events
-        stats.wall_time_s = perf_counter() - started
-        if stats.wall_time_s > 0:
-            stats.events_per_sec = stats.events / stats.wall_time_s
-        stats.end_time = self._now
-        stats.blocked_processes = self.blocked_processes()
-        return stats
+        return events
+
+    def _drive_calendar(
+        self, stats: RunStats, time_limit: float, event_limit: int
+    ) -> int:
+        """The calendar-queue run loop.
+
+        Structurally identical to :meth:`_drive_heap` with the heap's
+        ``[0]``/``heappop`` replaced by the calendar's ``peek``/``pop``;
+        both pop the globally smallest ``(time, sequence)`` so the event
+        order — and every trace — is byte-identical between the two.
+        """
+        cal = self._cal
+        runq = self._runq
+        jump = _JUMP_TABLE
+        peek = cal.peek
+        pop = cal.pop
+        advance = self._advance
+        reattempt = self._reattempt
+        events = 0
+        runq_fired = 0
+        try:
+            while cal or runq:
+                if runq:
+                    entry = runq[0]
+                    if cal:
+                        top = peek()
+                        if top[0] < entry[0] or (
+                            top[0] == entry[0] and top[1] < entry[1]
+                        ):
+                            entry = top
+                            from_runq = False
+                        else:
+                            from_runq = True
+                    else:
+                        from_runq = True
+                else:
+                    entry = peek()
+                    from_runq = False
+                time = entry[0]
+                if time > time_limit:
+                    break
+                self._now = time
+                events += 1
+                if from_runq:
+                    runq.popleft()
+                    runq_fired += 1
+                    handle = entry[2]
+                    handle.wake_scheduled = False
+                    operation = handle.pending_op
+                    if operation is not None:
+                        reattempt(handle, operation)
+                else:
+                    pop()
+                    event = entry[2]
+                    cls = event.__class__
+                    if cls is ResumeEvent:
+                        advance(event.handle, None)
+                    else:
+                        jump[cls](self, event)
+                if events == event_limit:
+                    stats.halted_on_limit = True
+                    break
+        finally:
+            self._event_count += events
+            if self._metrics is not None:
+                self._m_events.inc(events)
+                self._m_runq_wakes.inc(runq_fired)
+                self._m_heap_events.inc(events - runq_fired)
+        return events
 
     def step(self) -> bool:
         """Process a single event; returns False when none are pending."""
@@ -459,38 +588,35 @@ class Simulator:
         state = handle.state
         if state is _DONE or state is _KILLED:
             return
-        endpoint = operation.endpoint
         cls = operation.__class__
         if cls is Read:
-            status, payload = endpoint.channel.poll_read(
-                endpoint.index, self._now
-            )
+            status, payload = operation.poll(operation.index, self._now)
             if status == "ok":
                 if self._observed:
                     self._note_resume(handle)
                 self._advance(handle, payload)
             elif status == "wait":
-                handle.state = ProcessState.BLOCKED_READ
+                handle.state = _BLOCKED_READ
                 handle.pending_op = operation
                 self._push_event(payload, RetryEvent(handle, operation))
             elif status == "empty":
-                handle.state = ProcessState.BLOCKED_READ
+                handle.state = _BLOCKED_READ
                 handle.pending_op = operation
-                endpoint.channel.park_reader(endpoint.index, handle)
+                operation.channel.park_reader(operation.index, handle)
             else:  # pragma: no cover - channel contract violation
                 raise ProtocolError(f"bad poll_read status {status!r}")
         elif cls is Write:
-            status, _ = endpoint.channel.poll_write(
-                endpoint.index, operation.token, self._now
+            status, _ = operation.poll(
+                operation.index, operation.token, self._now
             )
             if status == "ok":
                 if self._observed:
                     self._note_resume(handle)
                 self._advance(handle, None)
             elif status == "full":
-                handle.state = ProcessState.BLOCKED_WRITE
+                handle.state = _BLOCKED_WRITE
                 handle.pending_op = operation
-                endpoint.channel.park_writer(endpoint.index, handle)
+                operation.channel.park_writer(operation.index, handle)
             else:  # pragma: no cover - channel contract violation
                 raise ProtocolError(f"bad poll_write status {status!r}")
 
@@ -527,17 +653,22 @@ class Simulator:
         if state is _DONE or state is _KILLED:
             return
         generator_send = handle.generator.send
-        running = _RUNNING
         killed = _KILLED
         observed = self._observed
+        now = self._now
+        # ``handle.state`` is deliberately *not* set to RUNNING on every
+        # loop turn: no observer can see the intermediate state (hooks and
+        # stats read it only at block/done edges, which all store an
+        # explicit state below), and the per-resumption store is
+        # measurable.  The killed check still works — ``kill`` writes
+        # KILLED into the handle whether or not the generator is live.
         while True:
-            handle.state = running
             try:
                 operation = generator_send(value)
             except StopIteration:
                 handle.state = _DONE
                 if observed and self._hook is not None:
-                    self._hook(self._now, handle.name, "done", None)
+                    self._hook(now, handle.name, "done", None)
                 return
             if handle.state is killed:
                 # Killed from inside its own advancement (self-kill
@@ -545,42 +676,38 @@ class Simulator:
                 return
             cls = operation.__class__
             if cls is Read:
-                endpoint = operation.endpoint
-                status, payload = endpoint.channel.poll_read(
-                    endpoint.index, self._now
-                )
+                status, payload = operation.poll(operation.index, now)
                 if status == "ok":
                     value = payload
                     continue
-                handle.state = ProcessState.BLOCKED_READ
+                handle.state = _BLOCKED_READ
                 handle.pending_op = operation
                 if observed:
                     self._note_block(
-                        handle, "block_read", endpoint.channel.name
+                        handle, "block_read", operation.channel.name
                     )
                 if status == "wait":
                     self._push_event(payload, RetryEvent(handle, operation))
                 elif status == "empty":
-                    endpoint.channel.park_reader(endpoint.index, handle)
+                    operation.channel.park_reader(operation.index, handle)
                 else:  # pragma: no cover - channel contract violation
                     raise ProtocolError(f"bad poll_read status {status!r}")
                 return
             if cls is Write:
-                endpoint = operation.endpoint
-                status, _ = endpoint.channel.poll_write(
-                    endpoint.index, operation.token, self._now
+                status, _ = operation.poll(
+                    operation.index, operation.token, now
                 )
                 if status == "ok":
                     value = None
                     continue
                 if status == "full":
-                    handle.state = ProcessState.BLOCKED_WRITE
+                    handle.state = _BLOCKED_WRITE
                     handle.pending_op = operation
                     if observed:
                         self._note_block(
-                            handle, "block_write", endpoint.channel.name
+                            handle, "block_write", operation.channel.name
                         )
-                    endpoint.channel.park_writer(endpoint.index, handle)
+                    operation.channel.park_writer(operation.index, handle)
                 else:  # pragma: no cover - channel contract violation
                     raise ProtocolError(f"bad poll_write status {status!r}")
                 return
@@ -588,21 +715,23 @@ class Simulator:
                 # Inlined _push_event: Delay validates duration >= 0 at
                 # construction, so the target instant can never precede
                 # the current one — no past-scheduling check needed.
-                handle.state = ProcessState.DELAYED
+                handle.state = _DELAYED
                 handle.pending_op = operation
                 if observed and self._hook is not None:
                     self._hook(
-                        self._now, handle.name, "compute", operation.duration
+                        now, handle.name, "compute", operation.duration
                     )
                 self._sequence += 1
-                heapq.heappush(
-                    self._heap,
-                    (
-                        self._now + operation.duration,
-                        self._sequence,
-                        ResumeEvent(handle),
-                    ),
+                entry = (
+                    now + operation.duration,
+                    self._sequence,
+                    handle.resume_event,
                 )
+                cal = self._cal
+                if cal is None:
+                    _heappush(self._heap, entry)
+                else:
+                    cal.push(entry)
                 return
             if cls is Halt:
                 handle.state = _DONE
@@ -645,6 +774,9 @@ class Simulator:
 _DONE = ProcessState.DONE
 _KILLED = ProcessState.KILLED
 _RUNNING = ProcessState.RUNNING
+_BLOCKED_READ = ProcessState.BLOCKED_READ
+_BLOCKED_WRITE = ProcessState.BLOCKED_WRITE
+_DELAYED = ProcessState.DELAYED
 
 #: Jump table: event record class -> bound firing method.  Dict dispatch on
 #: the concrete class avoids an isinstance ladder in the hot loop.

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 from repro.kpn.errors import TraceError
 
 
-@dataclass
+@dataclass(slots=True)
 class EventRecord:
     """One channel event: a write (production) or read (consumption)."""
 
@@ -37,7 +37,16 @@ class ChannelTrace:
     maximum — the quantity Table 2 compares against the theoretical
     capacity.  When ``record_events`` is set, full event lists are kept for
     curve calibration.
+
+    Slotted: the engine updates these counters inline on every committed
+    read and write, so slot access (vs ``__dict__`` lookups) is measurable
+    at paper scale.
     """
+
+    __slots__ = (
+        "name", "record_events", "fill", "max_fill",
+        "writes", "reads", "drops", "events",
+    )
 
     def __init__(self, name: str, record_events: bool = False) -> None:
         self.name = name

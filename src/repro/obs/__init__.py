@@ -38,6 +38,11 @@ from repro.obs.report import (
     render_report,
     validate_report,
 )
+from repro.obs.rtccache import (
+    record_rtc_cache_gauges,
+    rtc_cache_stats,
+    summarize_cache_gauges,
+)
 
 __all__ = [
     "DISABLED",
@@ -58,4 +63,7 @@ __all__ = [
     "build_run_report",
     "render_report",
     "validate_report",
+    "record_rtc_cache_gauges",
+    "rtc_cache_stats",
+    "summarize_cache_gauges",
 ]

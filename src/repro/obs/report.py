@@ -187,6 +187,13 @@ def build_run_report(
             "time_ms": fault.time,
         }
 
+    # Publish the RTC memo-effectiveness gauges so the metrics snapshot
+    # answers whether the sizing behind this run reused solver work.
+    if registry is not None and registry.enabled:
+        from repro.obs.rtccache import record_rtc_cache_gauges
+
+        record_rtc_cache_gauges(registry)
+
     return {
         "schema": SCHEMA_ID,
         "meta": {
@@ -258,6 +265,11 @@ def _validate_node(value: Any, spec: Any, path: str) -> None:
             )
 
 
+def _fmt(value: Optional[float], spec: str) -> str:
+    """Format a nullable number; ``None`` (unobserved run) renders as "?"."""
+    return "?" if value is None else format(value, spec)
+
+
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable rendering of a run report."""
     meta = report["meta"]
@@ -276,8 +288,8 @@ def render_report(report: Dict[str, Any]) -> str:
     lines.append("")
     lines.append("Throughput")
     lines.append(
-        f"  {thr['events']} events to t={thr['end_time_ms']:.1f} ms "
-        f"({thr['events_per_sec']:.0f} events/s host); "
+        f"  {thr['events']} events to t={_fmt(thr['end_time_ms'], '.1f')} ms "
+        f"({_fmt(thr['events_per_sec'], '.0f')} events/s host); "
         f"{thr['tokens_delivered']} tokens delivered, "
         f"{thr['consumer_stalls']} consumer stalls"
     )
@@ -328,4 +340,10 @@ def render_report(report: Dict[str, Any]) -> str:
             f"  detected in {det['latency_ms']:.2f} ms at {det['site']} "
             f"({det['mechanism']})"
         )
+    from repro.obs.rtccache import summarize_cache_gauges
+
+    cache_line = summarize_cache_gauges(report.get("metrics", {}))
+    if cache_line is not None:
+        lines.append("")
+        lines.append(cache_line)
     return "\n".join(lines)

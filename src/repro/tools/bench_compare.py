@@ -22,8 +22,15 @@ Usage::
 
     repro-bench-compare                  # run, compare, record trajectory
     repro-bench-compare --smoke          # fast sanity pass (lenient, read-only)
+    repro-bench-compare --fail-on-regression 15   # CI gate vs latest run
     repro-bench-compare --update-baseline --label my-change
     repro-bench-compare --self-test      # validate the comparison logic
+
+``--fail-on-regression PCT`` is the comparative CI mode: instead of the
+(deliberately old) seed baseline, the reference is the **latest recorded
+run** in the trajectory, so a change is gated against the repository's
+current performance rather than its original one.  The mode is
+read-only — CI must not rewrite the trajectory file.
 
 Exit codes: 0 = within threshold, 1 = regression (or failed self-test),
 2 = usage / environment error.
@@ -184,6 +191,17 @@ def run_benchmarks(repo_root: Path, smoke: bool) -> Dict[str, dict]:
         return extract_results(json.loads(out.read_text()))
 
 
+def latest_reference(db: dict) -> dict:
+    """The comparison reference for ``--fail-on-regression``.
+
+    The latest trajectory entry when one exists, else the baseline:
+    regressions are judged against where the repository's performance
+    *currently* is, not against the historical seed.
+    """
+    runs = db.get("runs") or []
+    return runs[-1] if runs else db["baseline"]
+
+
 def self_test() -> int:
     """Validate the comparison logic on synthetic data.
 
@@ -219,6 +237,22 @@ def self_test() -> int:
     # The same regression passes under a lenient smoke threshold.
     if compare(base, injected, SMOKE_THRESHOLD_PCT):
         failures.append("smoke threshold flagged a +50 % change")
+    # --fail-on-regression compares against the *latest* run, falling
+    # back to the baseline only when the trajectory is empty.
+    db = {
+        "baseline": {"label": "seed", "results": base},
+        "runs": [
+            {"label": "older", "results": base},
+            {"label": "newest", "results": current},
+        ],
+    }
+    if latest_reference(db)["label"] != "newest":
+        failures.append("latest_reference did not pick the newest run")
+    if latest_reference({"baseline": db["baseline"], "runs": []})[
+            "label"] != "seed":
+        failures.append(
+            "latest_reference did not fall back to the baseline"
+        )
     if failures:
         for failure in failures:
             print(f"self-test FAILED: {failure}", file=sys.stderr)
@@ -252,6 +286,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="fast sanity pass: one round per benchmark, lenient "
         f"threshold ({SMOKE_THRESHOLD_PCT:.0f} %%), trajectory not recorded",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="CI gate: compare this run against the latest recorded "
+        "trajectory run (falling back to the baseline when the "
+        "trajectory is empty) and fail beyond PCT percent slower; "
+        "read-only, the trajectory is not rewritten",
     )
     parser.add_argument(
         "--update-baseline",
@@ -296,6 +340,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         db = {"version": 1, "baseline": entry, "runs": []}
         save_db(db_path, db)
         print(f"baseline '{label}' written to {db_path}")
+        return 0
+
+    if args.fail_on_regression is not None:
+        reference = latest_reference(db)
+        print(f"reference: {reference.get('label', '?')} "
+              f"({reference.get('captured', '?')})")
+        print(format_report(reference["results"], current))
+        regressions = compare(
+            reference["results"], current, args.fail_on_regression
+        )
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+                  f"{args.fail_on_regression:.1f} % of latest run:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nOK: all benchmarks within "
+              f"{args.fail_on_regression:.1f} % of latest run")
         return 0
 
     baseline = db["baseline"]["results"]

@@ -20,6 +20,8 @@ import sys
 
 import pytest
 
+from repro.apps.adpcm import AdpcmApp
+from repro.apps.h264 import H264EncoderApp
 from repro.apps.mjpeg import MjpegDecoderApp
 from repro.apps.synthetic import SyntheticApp
 from repro.experiments.runner import fault_time_for, run_duplicated
@@ -58,12 +60,26 @@ def _scenarios():
                           kind=RATE_DEGRADE, slowdown=5.0)
         return app, 70, 8, fault
 
+    def h264_clean():
+        # Pins the third codec (Table 1's H.264 encoder) on the event
+        # engine: full encode pipeline, paced exits, no fault.
+        return H264EncoderApp(seed=11), 18, 6, None
+
+    def adpcm_failstop():
+        app = AdpcmApp(seed=21)
+        fault = FaultSpec(replica=1,
+                          time=fault_time_for(app, 35, phase=0.48),
+                          kind=FAIL_STOP)
+        return app, 55, 7, fault
+
     return {
         "mjpeg_clean": mjpeg_clean,
         "mjpeg_failstop": mjpeg_failstop,
         "synthetic_clean": synthetic_clean,
         "synthetic_bursty": synthetic_bursty,
         "synthetic_degrade": synthetic_degrade,
+        "h264_clean": h264_clean,
+        "adpcm_failstop": adpcm_failstop,
     }
 
 

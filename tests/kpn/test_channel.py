@@ -139,10 +139,18 @@ class TestFifoSemantics:
         assert trace.reads == 1
 
     def test_peek_ready_time(self):
+        # Untimed channels don't retain arrival instants: a queued token
+        # is readable immediately, reported as ready time 0.0.
         fifo = Fifo("f", 2)
         assert fifo.peek_ready_time() is None
         fifo.poll_write(0, tok(1, 1), 3.0)
-        assert fifo.peek_ready_time() == pytest.approx(3.0)
+        assert fifo.peek_ready_time() == pytest.approx(0.0)
+
+    def test_peek_ready_time_timed(self):
+        fifo = Fifo("f", 2, transfer_latency=lambda t: 2.0)
+        assert fifo.peek_ready_time() is None
+        fifo.poll_write(0, tok(1, 1), 3.0)
+        assert fifo.peek_ready_time() == pytest.approx(5.0)
 
     def test_repr(self):
         assert "f" in repr(Fifo("f", 2))

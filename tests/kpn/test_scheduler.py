@@ -1,0 +1,151 @@
+"""Unit tests for the calendar-queue scheduler."""
+
+import heapq
+import random
+
+import pytest
+
+from repro.kpn.scheduler import (
+    _FALLBACK_RETRY_PUSHES,
+    _MIN_CALENDAR,
+    CalendarQueue,
+)
+from repro.kpn.simulator import Simulator
+
+
+def entries_from(times):
+    return [(t, seq, None) for seq, t in enumerate(times, start=1)]
+
+
+class TestOrdering:
+    def test_empty(self):
+        queue = CalendarQueue()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_pop_order_matches_heapq(self):
+        rng = random.Random(42)
+        times = [rng.uniform(0.0, 100.0) for _ in range(200)]
+        times += [5.0] * 20  # same-instant cluster: sequence tie-breaks
+        entries = entries_from(times)
+        queue = CalendarQueue(list(entries))
+        reference = list(entries)
+        heapq.heapify(reference)
+        while reference:
+            assert queue.peek() == reference[0]
+            assert queue.pop() == heapq.heappop(reference)
+        assert not queue
+
+    def test_interleaved_push_pop(self):
+        rng = random.Random(7)
+        queue = CalendarQueue()
+        reference = []
+        seq = 0
+        for _ in range(500):
+            if reference and rng.random() < 0.45:
+                assert queue.pop() == heapq.heappop(reference)
+            else:
+                seq += 1
+                entry = (rng.uniform(0.0, 50.0), seq, None)
+                queue.push(entry)
+                heapq.heappush(reference, entry)
+        while reference:
+            assert queue.pop() == heapq.heappop(reference)
+
+    def test_drain_returns_everything_and_resets(self):
+        entries = entries_from([3.0, 1.0, 2.0, 8.0, 5.0])
+        queue = CalendarQueue(list(entries))
+        drained = queue.drain()
+        assert sorted(drained) == sorted(entries)
+        assert len(queue) == 0
+        queue.push((1.0, 99, None))
+        assert queue.pop() == (1.0, 99, None)
+
+
+class TestModes:
+    def test_small_population_falls_back_to_heap(self):
+        queue = CalendarQueue(entries_from([1.0, 2.0]))
+        assert not queue.bucket_mode
+        assert queue.width is None
+
+    def test_zero_gap_population_falls_back_to_heap(self):
+        # Every event at the same instant: no finite positive gap exists.
+        queue = CalendarQueue(entries_from([4.0] * 10))
+        assert not queue.bucket_mode
+
+    def test_spread_population_uses_buckets(self):
+        queue = CalendarQueue(entries_from([float(i) for i in range(16)]))
+        assert queue.bucket_mode
+        assert queue.width is not None and queue.width > 0
+
+    def test_fallback_retries_bucket_mode_after_pushes(self):
+        # Start unbucketable (all at t=0), then push spread-out events:
+        # the retry rule must engage bucket mode within the retry window.
+        queue = CalendarQueue(entries_from([0.0] * _MIN_CALENDAR))
+        assert not queue.bucket_mode
+        seq = 100
+        for i in range(_FALLBACK_RETRY_PUSHES):
+            seq += 1
+            queue.push((float(i + 1), seq, None))
+        assert queue.bucket_mode
+
+    def test_growth_triggers_recalibration(self):
+        queue = CalendarQueue(entries_from([float(i) for i in range(8)]))
+        builds = queue.rebuilds
+        for seq in range(1000, 1000 + 64):
+            queue.push((float(seq), seq, None))
+        assert queue.rebuilds > builds
+        assert queue.bucket_mode
+
+    def test_repr_smoke(self):
+        assert "CalendarQueue" in repr(CalendarQueue())
+        assert "CalendarQueue" in repr(
+            CalendarQueue(entries_from([float(i) for i in range(8)]))
+        )
+
+
+class TestSimulatorIntegration:
+    def test_scheduler_argument_validated(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="fibonacci")
+
+    def test_default_is_calendar(self):
+        assert Simulator().scheduler == "calendar"
+
+    def test_spill_back_preserves_pending_events(self):
+        # Halt a calendar-mode run mid-flight via max_events; remaining
+        # entries must spill back to the plain heap so a follow-up run
+        # (or step()) continues exactly where it left off.
+        from repro.kpn.network import Network
+        from repro.kpn.process import PeriodicConsumer, PeriodicSource
+        from repro.rtc.pjd import PJD
+
+        def build(scheduler, threshold):
+            net = Network("spill")
+            src = net.add_process(
+                PeriodicSource("P", PJD(1.0, 0.1, 1.0), 50, seed=3)
+            )
+            snk = net.add_process(
+                PeriodicConsumer("C", PJD(1.0, 0.1, 1.0), 50, seed=5)
+            )
+            fifo = net.add_fifo("f", 4)
+            src.output = fifo.writer
+            snk.input = fifo.reader
+            sim = net.instantiate(sim=Simulator(
+                scheduler=scheduler, calendar_threshold=threshold
+            ))
+            return net, snk, sim
+
+        net_c, snk_c, sim_c = build("calendar", 0)
+        first = sim_c.run(max_events=40)
+        assert first.halted_on_limit
+        assert sim_c._cal is None  # disengaged between runs
+        second = sim_c.run()
+
+        net_h, snk_h, sim_h = build("heap", 10**9)
+        first_h = sim_h.run(max_events=40)
+        second_h = sim_h.run()
+
+        assert snk_c.tokens == snk_h.tokens
+        assert first.events + second.events == first_h.events + second_h.events
+        assert second.end_time == second_h.end_time

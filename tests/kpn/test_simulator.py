@@ -228,6 +228,18 @@ class TestRunStats:
             stats.events / stats.wall_time_s
         )
 
+    def test_zero_duration_run_reports_zero_rate(self, monkeypatch):
+        # On coarse clocks (or an empty scenario) the run loop can start
+        # and finish within one perf_counter tick; events/sec must report
+        # 0.0 rather than dividing by zero.
+        import repro.kpn.simulator as sim_mod
+
+        monkeypatch.setattr(sim_mod, "perf_counter", lambda: 42.0)
+        stats = Simulator().run()
+        assert stats.events == 0
+        assert stats.wall_time_s == 0.0
+        assert stats.events_per_sec == 0.0
+
 
 class TestDeterminism:
     def test_identical_runs_identical_traces(self):

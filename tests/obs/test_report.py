@@ -129,3 +129,15 @@ class TestRenderReport:
         text = render_report(clean_report)
         assert "fault=none" in text
         assert "no fault injected" in text
+
+    def test_renders_unobserved_throughput(self, clean_report):
+        # A run without stats (e.g. replayed from a trace file) reports
+        # None for the host-side throughput fields; the renderer must
+        # degrade to "?" instead of crashing on format(None, '.1f').
+        report = json.loads(json.dumps(clean_report))
+        report["throughput"]["end_time_ms"] = None
+        report["throughput"]["wall_time_s"] = None
+        report["throughput"]["events_per_sec"] = None
+        text = render_report(report)
+        assert "t=? ms" in text
+        assert "(? events/s host)" in text

@@ -1,0 +1,111 @@
+"""Properties of the calendar-queue scheduler.
+
+The calendar queue is only admissible under the determinism policy
+(DESIGN.md Section 7 / Section 9) if it is *order-equivalent* to the
+binary heap: every pop returns the globally smallest ``(time, sequence)``
+entry.  Two layers of evidence here:
+
+* queue-level — arbitrary interleaved push/pop scripts produce the exact
+  pop sequence of a reference ``heapq`` run (covering bucket mode, heap
+  fallback, recalibration rebuilds and the fallback retry);
+* engine-level — a seeded producer/consumer network run under
+  ``scheduler="calendar"`` (threshold forced to engage) yields the same
+  complete per-channel traces, event counts and end time as under
+  ``scheduler="heap"``.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+
+from repro.kpn.network import Network
+from repro.kpn.process import PeriodicConsumer, PeriodicSource
+from repro.kpn.scheduler import CalendarQueue
+from repro.kpn.simulator import Simulator
+from repro.kpn.tracefile import recorder_to_dict
+from repro.rtc.pjd import PJD
+from tests.properties.strategies import (
+    event_times,
+    pjd_models,
+    scheduler_scripts,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(event_times())
+def test_bulk_drain_matches_sorted_order(times):
+    entries = [(t, seq, None) for seq, t in enumerate(times)]
+    queue = CalendarQueue(entries)
+    popped = [queue.pop()[:2] for _ in range(len(entries))]
+    assert popped == sorted(e[:2] for e in entries)
+    assert not queue
+
+
+@settings(max_examples=120, deadline=None)
+@given(scheduler_scripts(max_steps=60))
+def test_interleaved_script_matches_heapq(script):
+    queue = CalendarQueue()
+    reference = []
+    seq = 0
+    for step in script:
+        if step[0] == "push":
+            seq += 1
+            entry = (step[1], seq, None)
+            queue.push(entry)
+            heapq.heappush(reference, entry)
+        elif reference:
+            assert queue.peek() == reference[0]
+            assert queue.pop() == heapq.heappop(reference)
+    while reference:
+        assert queue.pop() == heapq.heappop(reference)
+    assert len(queue) == 0
+
+
+def _run_pipeline(scheduler, threshold):
+    net = Network("sched-prop")
+    src = net.add_process(
+        PeriodicSource("P", PJD(1.0, 0.1, 1.0), 60, seed=1)
+    )
+    snk = net.add_process(
+        PeriodicConsumer("C", PJD(1.3, 0.2, 1.0), 60, seed=2)
+    )
+    fifo = net.add_fifo("f", 4)
+    src.output = fifo.writer
+    snk.input = fifo.reader
+    sim = net.instantiate(
+        sim=Simulator(scheduler=scheduler, calendar_threshold=threshold)
+    )
+    stats = sim.run()
+    return recorder_to_dict(net.recorder), stats, snk.tokens
+
+
+@settings(max_examples=15, deadline=None)
+@given(pjd_models(max_period=5.0), pjd_models(max_period=5.0))
+def test_engine_traces_identical_under_both_schedulers(src_model, snk_model):
+    def run(scheduler, threshold):
+        net = Network("sched-eq")
+        src = net.add_process(PeriodicSource("P", src_model, 40, seed=9))
+        snk = net.add_process(PeriodicConsumer("C", snk_model, 40, seed=4))
+        fifo = net.add_fifo("f", 3)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+        sim = net.instantiate(
+            sim=Simulator(scheduler=scheduler, calendar_threshold=threshold)
+        )
+        stats = sim.run()
+        return recorder_to_dict(net.recorder), stats.events, stats.end_time
+
+    # Threshold 0 forces calendar engagement even on this tiny network.
+    cal_trace, cal_events, cal_end = run("calendar", 0)
+    heap_trace, heap_events, heap_end = run("heap", 10**9)
+    assert cal_trace == heap_trace
+    assert cal_events == heap_events
+    assert cal_end == heap_end
+
+
+def test_consumer_values_identical_under_both_schedulers():
+    cal_trace, cal_stats, cal_tokens = _run_pipeline("calendar", 0)
+    heap_trace, heap_stats, heap_tokens = _run_pipeline("heap", 10**9)
+    assert cal_tokens == heap_tokens
+    assert cal_trace == heap_trace
+    assert cal_stats.events == heap_stats.events

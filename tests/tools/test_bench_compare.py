@@ -11,6 +11,7 @@ from repro.tools.bench_compare import (
     compare,
     extract_results,
     format_report,
+    latest_reference,
     load_db,
     main,
     save_db,
@@ -102,6 +103,47 @@ class TestIO:
         report = format_report(base, current)
         assert "missing" in report
         assert "new" in report
+
+
+class TestFailOnRegression:
+    def _seed_db(self, tmp_path):
+        db = {
+            "version": 1,
+            "baseline": {"label": "seed", "results": {"a": stats(1e-3)}},
+            "runs": [
+                {"label": "older", "results": {"a": stats(2e-3)}},
+                {"label": "latest", "results": {"a": stats(4e-3)}},
+            ],
+        }
+        save_db(tmp_path / RESULTS_FILENAME, db)
+        return db
+
+    def test_latest_reference_prefers_newest_run(self, tmp_path):
+        db = self._seed_db(tmp_path)
+        assert latest_reference(db)["label"] == "latest"
+        assert latest_reference(
+            {"baseline": db["baseline"], "runs": []}
+        )["label"] == "seed"
+
+    def test_gates_against_latest_run_not_baseline(
+            self, tmp_path, monkeypatch):
+        import repro.tools.bench_compare as bc
+
+        db = self._seed_db(tmp_path)
+        # +5 % vs the latest run (but +320 % vs the seed baseline):
+        # the gate compares against the latest run, so this passes.
+        monkeypatch.setattr(
+            bc, "run_benchmarks", lambda root, smoke: {"a": stats(4.2e-3)}
+        )
+        argv = ["--repo-root", str(tmp_path), "--fail-on-regression", "15"]
+        assert bc.main(argv) == 0
+        # +50 % vs the latest run: flagged.
+        monkeypatch.setattr(
+            bc, "run_benchmarks", lambda root, smoke: {"a": stats(6e-3)}
+        )
+        assert bc.main(argv) == 1
+        # The gate is read-only either way.
+        assert load_db(tmp_path / RESULTS_FILENAME) == db
 
 
 class TestRepoTrajectory:
