@@ -32,9 +32,12 @@ Commands
     reproducer JSON files; ``--replay`` re-executes previously saved
     reproducers instead.  Exits nonzero on any surviving violation.
 ``bench``
-    Run the primitive benchmark suite and append a labelled run to the
+    Run the primitive benchmark suite and append a labelled run (with
+    the machine fingerprint of this host) to the
     ``BENCH_primitives.json`` trajectory (the scripted replacement for
-    the manual capture flow; ``--dry-run`` compares without recording).
+    the manual capture flow; ``--dry-run`` compares without recording;
+    ``--profile [DIR]`` additionally saves one cProfile/pstats dump per
+    benchmark).
 
 ``tables`` and ``reproduce`` drive their sweeps through the
 :mod:`repro.exec` executor: ``--jobs/-j N`` fans runs across N worker
@@ -393,6 +396,7 @@ def _cmd_bench(args) -> int:
         _utc_now,
         format_report,
         load_db,
+        machine_fingerprint,
         run_benchmarks,
         save_db,
     )
@@ -403,6 +407,11 @@ def _cmd_bench(args) -> int:
         # src/repro/cli.py -> repo root two levels above the package.
         repo_root = Path(__file__).resolve().parents[2]
     db_path = repo_root / RESULTS_FILENAME
+    profile_dir = None
+    if args.profile is not None:
+        profile_dir = Path(args.profile)
+        if not profile_dir.is_absolute():
+            profile_dir = repo_root / profile_dir
     try:
         db = load_db(db_path)
         if db is None:
@@ -411,18 +420,24 @@ def _cmd_bench(args) -> int:
                   "'python tools/bench_compare.py --update-baseline'",
                   file=sys.stderr)
             return 2
-        results = run_benchmarks(repo_root, smoke=False)
+        results = run_benchmarks(
+            repo_root, smoke=False, profile_dir=profile_dir
+        )
     except BenchCompareError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"baseline: {db['baseline'].get('label', '?')} "
           f"({db['baseline'].get('captured', '?')})")
     print(format_report(db["baseline"]["results"], results))
+    if profile_dir is not None:
+        dumps = sorted(profile_dir.glob("profile-*.prof"))
+        print(f"\n{len(dumps)} cProfile dump(s) in {profile_dir} "
+              "(inspect with python -m pstats <file>)")
     if args.dry_run:
         print("\ndry run: trajectory not recorded")
         return 0
     entry = {"label": args.label, "captured": _utc_now(),
-             "results": results}
+             "machine": machine_fingerprint(), "results": results}
     db.setdefault("runs", []).append(entry)
     save_db(db_path, db)
     print(f"\nrun '{args.label}' appended to {db_path}")
@@ -569,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dry-run", action="store_true",
                        help="print the comparison without appending "
                             "to the trajectory")
+    bench.add_argument("--profile", nargs="?", const="benchmarks/profiles",
+                       default=None, metavar="DIR",
+                       help="additionally run every benchmark under "
+                            "cProfile and save one pstats dump per "
+                            "benchmark into DIR (default when given "
+                            "without a value: %(const)s)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -154,7 +154,21 @@ class SweepExecutor:
             for future in as_completed(futures):
                 for index, result in future.result():
                     results[index] = result
+                    self._merge_copy_stats(result)
                     self._account(stats, specs[index], result)
+
+    def _merge_copy_stats(self, result) -> None:
+        """Credit a pool worker's zero-copy counters to this process.
+
+        Workers mutate their *own* ``COPY_STATS`` global; without this
+        fold the parent's accounting would silently read zero for every
+        parallel sweep.  Inline execution needs no merge — it already
+        counted in-process — so only the pool path calls this.
+        """
+        if result.copy_stats:
+            from repro.kpn.tokens import COPY_STATS
+
+            COPY_STATS.merge(result.copy_stats)
 
     # -- bookkeeping -------------------------------------------------------
 

@@ -75,6 +75,11 @@ class TaskResult:
     #: The worker-side :class:`~repro.experiments.validation.
     #: ValidationReport` when the spec asked for one.
     validation: Optional[Any] = None
+    #: Zero-copy accounting delta this run contributed to the executing
+    #: process's :data:`~repro.kpn.tokens.COPY_STATS` (keys ``copies`` /
+    #: ``copied_bytes`` / ``views``).  Rides back across the pool
+    #: boundary so the parent can merge worker-side counters.
+    copy_stats: Optional[Dict[str, int]] = None
     #: Worker wall-clock for the run (set by the executor path; cache
     #: hits report the original execution's time).
     wall_time_s: float = 0.0

@@ -38,7 +38,11 @@ from repro.rtc.sizing import SizingResult
 #: Version of the TaskSpec schema itself.  Bump on any change to the
 #: fields below or to their run semantics: the version participates in
 #: the digest, so old cache entries stop matching automatically.
-TASK_SCHEMA_VERSION = 1
+#: v2: ``exec_mode`` (step-machine vs generator execution core).
+TASK_SCHEMA_VERSION = 2
+
+#: Valid ``exec_mode`` values (mirrors ``Simulator(exec_mode=...)``).
+EXEC_MODES = ("stepped", "generator")
 
 #: ``kind`` values.
 KIND_REFERENCE = "reference"
@@ -122,10 +126,20 @@ class TaskSpec:
     #: Ship raw consumer payloads back (results always carry per-token
     #: content hashes; raw values can be large for the video apps).
     keep_values: bool = False
+    #: Engine execution core: ``"stepped"`` (default, step machines) or
+    #: ``"generator"``.  Traces are byte-identical across modes (pinned
+    #: by the golden suite), but the mode still participates in the
+    #: digest: a cache entry records *how* its bytes were produced.
+    exec_mode: str = "stepped"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise TaskSpecError(f"unknown task kind {self.kind!r}")
+        if self.exec_mode not in EXEC_MODES:
+            raise TaskSpecError(
+                f"unknown exec_mode {self.exec_mode!r} "
+                f"(expected one of {EXEC_MODES})"
+            )
         if self.monitor is not None and not self.record_events:
             raise TaskSpecError("a monitor needs record_events=True")
         if self.validate and not self.record_events:
@@ -145,6 +159,7 @@ class TaskSpec:
         seed: int,
         sizing: Optional[SizingResult] = None,
         variant: int = 0,
+        exec_mode: str = "stepped",
     ) -> "TaskSpec":
         """A reference-network run of ``app`` (Figure 1, top)."""
         return cls(
@@ -153,6 +168,7 @@ class TaskSpec:
             seed=seed,
             sizing=sizing,
             variant=variant,
+            exec_mode=exec_mode,
             **_app_fields(app),
         )
 
@@ -171,6 +187,7 @@ class TaskSpec:
         monitor: Optional[DistanceMonitorSpec] = None,
         validate: bool = False,
         keep_values: bool = False,
+        exec_mode: str = "stepped",
     ) -> "TaskSpec":
         """A duplicated-network run of ``app`` (Figure 1, bottom)."""
         return cls(
@@ -186,6 +203,7 @@ class TaskSpec:
             monitor=monitor,
             validate=validate,
             keep_values=keep_values,
+            exec_mode=exec_mode,
             **_app_fields(app),
         )
 

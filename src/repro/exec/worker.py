@@ -38,8 +38,10 @@ MONITOR_NAME = "distance-monitor"
 def execute_task(spec: TaskSpec) -> TaskResult:
     """Execute one task spec and return its serialisable result."""
     from repro.kpn.errors import SimulationError
+    from repro.kpn.tokens import COPY_STATS
 
     start = time.perf_counter()
+    copies_before = COPY_STATS.snapshot()
     app = build_app(spec)
     sizing = spec.sizing if spec.sizing is not None else app.sizing()
     try:
@@ -53,6 +55,7 @@ def execute_task(spec: TaskSpec) -> TaskResult:
             ok=False,
             error=f"{type(error).__name__}: {error}",
         )
+    result.copy_stats = COPY_STATS.delta(copies_before)
     result.wall_time_s = time.perf_counter() - start
     return result
 
@@ -68,7 +71,12 @@ def _execute_reference(spec, app, sizing) -> TaskResult:
     from repro.experiments.runner import run_reference
 
     run = run_reference(
-        app, spec.tokens, spec.seed, sizing=sizing, variant=spec.variant
+        app,
+        spec.tokens,
+        spec.seed,
+        sizing=sizing,
+        variant=spec.variant,
+        exec_mode=spec.exec_mode,
     )
     return TaskResult(
         kind=spec.kind,
@@ -99,6 +107,7 @@ def _execute_duplicated(spec, app, sizing) -> TaskResult:
         strict_single_fault=spec.strict_single_fault,
         selector_stall_detection=spec.selector_stall_detection,
         monitor_factory=monitor_factory,
+        exec_mode=spec.exec_mode,
     )
     result = TaskResult(
         kind=spec.kind,

@@ -100,6 +100,9 @@ def run_reference(
     seed: int,
     sizing: Optional[SizingResult] = None,
     variant: int = 0,
+    exec_mode: Optional[str] = None,
+    partitioned: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> ReferenceRun:
     """Build and run the reference network to quiescence."""
     sizing = sizing or app.sizing()
@@ -113,7 +116,12 @@ def run_reference(
         variant=variant,
         initial_fill=sizing.selector_priming,
     )
-    _sim, stats = reference.run(max_events=tokens * MAX_EVENTS_PER_TOKEN)
+    _sim, stats = reference.network.run(
+        max_events=tokens * MAX_EVENTS_PER_TOKEN,
+        exec_mode=exec_mode,
+        partitioned=partitioned,
+        kernel=kernel,
+    )
     consumer = reference.consumer
     return ReferenceRun(
         values=[t.value for t in consumer.tokens],
@@ -141,6 +149,9 @@ def run_duplicated(
     selector_stall_detection: bool = True,
     transfer_latency: Optional[Callable] = None,
     obs=None,
+    exec_mode: Optional[str] = None,
+    partitioned: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> DuplicatedRun:
     """Build and run the duplicated network to quiescence.
 
@@ -181,7 +192,9 @@ def run_duplicated(
     timeline = obs.timeline if obs is not None else None
     if timeline is not None:
         timeline.watch(duplicated.detection_log)
-    sim = duplicated.network.instantiate()
+    sim = duplicated.network.instantiate(
+        exec_mode=exec_mode, partitioned=partitioned, kernel=kernel
+    )
     if timeline is not None:
         sim.set_transition_hook(timeline.transition)
     injector = None

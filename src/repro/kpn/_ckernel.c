@@ -1,0 +1,1001 @@
+/* Optional compiled drive kernel for the stepped execution core.
+ *
+ * A hand-written CPython extension implementing the engine's hottest
+ * loop — `Simulator._drive_heap_stepped` — in C: event selection
+ * (run-queue front vs. heap top on `(time, sequence)`), the inlined
+ * reattempt path for direct-handoff wakes, and the fused step loop
+ * driving compiled step machines.  Every Python-visible side effect
+ * (poll calls, state stores, sequence-number draws, heap entries)
+ * happens in exactly the order of the pure-Python loop, so traces are
+ * byte-identical; the golden-trace suite pins this.
+ *
+ * Scope is deliberately narrow: the kernel only runs for unobserved
+ * simulations (no transition hook, no metrics registry) in stepped
+ * mode on the plain-heap scheduler path.  Anything else — including a
+ * callback enabling observation mid-run — makes the kernel return to
+ * Python with a `bail` flag and the pure loop finishes the run.  The
+ * pure-Python fallback is always present; this module is an optional
+ * accelerator built with `REPRO_BUILD_CKERNEL=1` (see docs/API.md).
+ *
+ * The module is configured once at import time by
+ * `repro.kpn.kernel.configure()`, which hands over the engine's event
+ * and operation classes plus the `ProcessState` members so identity
+ * checks (`state is DONE`, `type(op) is Read`) compile to pointer
+ * compares, exactly like the pure loop's `is` tests.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* ---- configured engine objects ---------------------------------------- */
+
+typedef struct {
+    /* event record classes */
+    PyObject *ResumeEvent;
+    PyObject *RetryEvent;
+    /* operation classes */
+    PyObject *Read;
+    PyObject *Write;
+    PyObject *Delay;
+    PyObject *Halt;
+    /* ProcessState members */
+    PyObject *DONE;
+    PyObject *KILLED;
+    PyObject *BLOCKED_READ;
+    PyObject *BLOCKED_WRITE;
+    PyObject *DELAYED;
+    /* exception classes */
+    PyObject *ProtocolError;
+    PyObject *SimulationError;
+    int ready;
+} EngineRefs;
+
+static EngineRefs refs = {0};
+
+/* interned attribute names */
+static PyObject *s_now, *s_sequence, *s_observed, *s_event_count;
+static PyObject *s_state, *s_pending_op, *s_wake_scheduled, *s_stepfn;
+static PyObject *s_generator, *s_resume_event, *s_name;
+static PyObject *s_poll, *s_index, *s_token, *s_channel, *s_retry_at;
+static PyObject *s_duration, *s_park_reader, *s_park_writer;
+static PyObject *s_popleft, *s_close, *s_dispatch, *s_handle;
+
+static int
+intern_names(void)
+{
+#define INTERN(var, text)                                                  \
+    do {                                                                   \
+        var = PyUnicode_InternFromString(text);                            \
+        if (var == NULL)                                                   \
+            return -1;                                                     \
+    } while (0)
+    INTERN(s_now, "_now");
+    INTERN(s_sequence, "_sequence");
+    INTERN(s_observed, "_observed");
+    INTERN(s_event_count, "_event_count");
+    INTERN(s_state, "state");
+    INTERN(s_pending_op, "pending_op");
+    INTERN(s_wake_scheduled, "wake_scheduled");
+    INTERN(s_stepfn, "stepfn");
+    INTERN(s_generator, "generator");
+    INTERN(s_resume_event, "resume_event");
+    INTERN(s_name, "name");
+    INTERN(s_poll, "poll");
+    INTERN(s_index, "index");
+    INTERN(s_token, "token");
+    INTERN(s_channel, "channel");
+    INTERN(s_retry_at, "retry_at");
+    INTERN(s_duration, "duration");
+    INTERN(s_park_reader, "park_reader");
+    INTERN(s_park_writer, "park_writer");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_close, "close");
+    INTERN(s_dispatch, "_dispatch_event");
+    INTERN(s_handle, "handle");
+#undef INTERN
+    return 0;
+}
+
+/* ---- (time, sequence) heap on a PyList -------------------------------- */
+
+/* Strict less-than on the (time, sequence) prefix of two event entries.
+ * Returns 1/0, or -1 on conversion error. */
+static int
+entry_lt(PyObject *a, PyObject *b)
+{
+    double ta = PyFloat_AsDouble(PyTuple_GET_ITEM(a, 0));
+    if (ta == -1.0 && PyErr_Occurred())
+        return -1;
+    double tb = PyFloat_AsDouble(PyTuple_GET_ITEM(b, 0));
+    if (tb == -1.0 && PyErr_Occurred())
+        return -1;
+    if (ta != tb)
+        return ta < tb;
+    long long sa = PyLong_AsLongLong(PyTuple_GET_ITEM(a, 1));
+    if (sa == -1 && PyErr_Occurred())
+        return -1;
+    long long sb = PyLong_AsLongLong(PyTuple_GET_ITEM(b, 1));
+    if (sb == -1 && PyErr_Occurred())
+        return -1;
+    return sa < sb;
+}
+
+/* heapq._siftdown: move heap[pos] toward the root. */
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = entry_lt(newitem, parent);
+        if (lt < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!lt)
+            break;
+        Py_INCREF(parent);
+        PyList_SetItem(heap, pos, parent);
+        pos = parentpos;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    return 0;
+}
+
+/* heapq._siftup: move the item at pos down to a leaf, then sift down. */
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int lt = entry_lt(PyList_GET_ITEM(heap, childpos),
+                              PyList_GET_ITEM(heap, rightpos));
+            if (lt < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (!lt)
+                childpos = rightpos;
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        PyList_SetItem(heap, pos, child);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    return heap_siftdown(heap, startpos, pos);
+}
+
+/* heapq.heappush equivalent.  Borrows `item`. */
+static int
+heap_push(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* heapq.heappop equivalent.  Returns a new reference. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap) - 1;
+    PyObject *last = PyList_GET_ITEM(heap, n);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n, n + 1, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 0)
+        return last;
+    PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(returnitem);
+    PyList_SetItem(heap, 0, last); /* steals last */
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(returnitem);
+        return NULL;
+    }
+    return returnitem;
+}
+
+/* ---- helpers ----------------------------------------------------------- */
+
+/* Draw the next sequence number from sim._sequence; returns the new
+ * PyLong (new reference) with sim._sequence already updated. */
+static PyObject *
+draw_sequence(PyObject *sim)
+{
+    PyObject *seq = PyObject_GetAttr(sim, s_sequence);
+    if (seq == NULL)
+        return NULL;
+    long long value = PyLong_AsLongLong(seq);
+    Py_DECREF(seq);
+    if (value == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *next = PyLong_FromLongLong(value + 1);
+    if (next == NULL)
+        return NULL;
+    if (PyObject_SetAttr(sim, s_sequence, next) < 0) {
+        Py_DECREF(next);
+        return NULL;
+    }
+    return next;
+}
+
+/* Simulator._push_event(time, RetryEvent(handle, operation)) for the
+ * heap drive (self._cal is None by construction).  `time_obj` is
+ * borrowed. */
+static int
+push_retry(PyObject *sim, PyObject *heap, PyObject *time_obj, double now,
+           PyObject *handle, PyObject *operation)
+{
+    double t = PyFloat_AsDouble(time_obj);
+    if (t == -1.0 && PyErr_Occurred())
+        return -1;
+    if (t < now - 1e-12) {
+        PyErr_Format(refs.SimulationError,
+                     "cannot schedule at %R before now (%f)", time_obj, now);
+        return -1;
+    }
+    PyObject *event = PyObject_CallFunctionObjArgs(refs.RetryEvent, handle,
+                                                   operation, NULL);
+    if (event == NULL)
+        return -1;
+    PyObject *seq = draw_sequence(sim);
+    if (seq == NULL) {
+        Py_DECREF(event);
+        return -1;
+    }
+    PyObject *when;
+    if (t >= now) {
+        when = time_obj;
+        Py_INCREF(when);
+    }
+    else {
+        when = PyFloat_FromDouble(now);
+        if (when == NULL) {
+            Py_DECREF(seq);
+            Py_DECREF(event);
+            return -1;
+        }
+    }
+    PyObject *entry = PyTuple_New(3);
+    if (entry == NULL) {
+        Py_DECREF(when);
+        Py_DECREF(seq);
+        Py_DECREF(event);
+        return -1;
+    }
+    PyTuple_SET_ITEM(entry, 0, when);
+    PyTuple_SET_ITEM(entry, 1, seq);
+    PyTuple_SET_ITEM(entry, 2, event);
+    int rc = heap_push(heap, entry);
+    Py_DECREF(entry);
+    return rc;
+}
+
+/* Park a blocked operation: state/pending_op stores plus the channel's
+ * park_reader/park_writer call.  `park_name` selects the entry point. */
+static int
+park_blocked(PyObject *handle, PyObject *operation, PyObject *blocked_state,
+             PyObject *park_name)
+{
+    if (PyObject_SetAttr(handle, s_state, blocked_state) < 0)
+        return -1;
+    if (PyObject_SetAttr(handle, s_pending_op, operation) < 0)
+        return -1;
+    PyObject *channel = PyObject_GetAttr(operation, s_channel);
+    if (channel == NULL)
+        return -1;
+    PyObject *index = PyObject_GetAttr(operation, s_index);
+    if (index == NULL) {
+        Py_DECREF(channel);
+        return -1;
+    }
+    PyObject *res = PyObject_CallMethodObjArgs(channel, park_name, index,
+                                               handle, NULL);
+    Py_DECREF(index);
+    Py_DECREF(channel);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static int
+status_is(PyObject *status, const char *text)
+{
+    return PyUnicode_Check(status) &&
+           PyUnicode_CompareWithASCIIString(status, text) == 0;
+}
+
+/* ---- the drive loop ---------------------------------------------------- */
+
+static PyObject *
+drive(PyObject *module, PyObject *args)
+{
+    PyObject *sim;
+    double time_limit;
+    long long event_limit;
+    if (!PyArg_ParseTuple(args, "OdL", &sim, &time_limit, &event_limit))
+        return NULL;
+    if (!refs.ready) {
+        PyErr_SetString(PyExc_RuntimeError, "_ckernel not configured");
+        return NULL;
+    }
+    PyObject *heap = PyObject_GetAttrString(sim, "_heap");
+    if (heap == NULL || !PyList_Check(heap)) {
+        Py_XDECREF(heap);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "sim._heap is not a list");
+        return NULL;
+    }
+    PyObject *runq = PyObject_GetAttrString(sim, "_runq");
+    if (runq == NULL) {
+        Py_DECREF(heap);
+        return NULL;
+    }
+
+    long long events = 0;
+    int halted = 0;
+    int bail = 0;
+    int failed = 0;
+
+    while (1) {
+        Py_ssize_t runq_len = PyObject_Size(runq);
+        if (runq_len < 0) {
+            failed = 1;
+            break;
+        }
+        Py_ssize_t heap_len = PyList_GET_SIZE(heap);
+        if (runq_len == 0 && heap_len == 0)
+            break;
+
+        /* -- event selection: smallest (time, sequence) of runq front
+         *    and heap top; ties go to the runq (sequences are unique,
+         *    matching the pure loop's strict-less heap test). */
+        PyObject *entry; /* owned */
+        int from_runq;
+        if (runq_len > 0) {
+            entry = PySequence_GetItem(runq, 0);
+            if (entry == NULL) {
+                failed = 1;
+                break;
+            }
+            from_runq = 1;
+            if (heap_len > 0) {
+                PyObject *top = PyList_GET_ITEM(heap, 0);
+                int lt = entry_lt(top, entry);
+                if (lt < 0) {
+                    Py_DECREF(entry);
+                    failed = 1;
+                    break;
+                }
+                if (lt) {
+                    Py_DECREF(entry);
+                    entry = top;
+                    Py_INCREF(entry);
+                    from_runq = 0;
+                }
+            }
+        }
+        else {
+            entry = PyList_GET_ITEM(heap, 0);
+            Py_INCREF(entry);
+            from_runq = 0;
+        }
+
+        PyObject *time_obj = PyTuple_GET_ITEM(entry, 0); /* borrowed */
+        double now = PyFloat_AsDouble(time_obj);
+        if (now == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(entry);
+            failed = 1;
+            break;
+        }
+        if (now > time_limit) {
+            Py_DECREF(entry);
+            break;
+        }
+        if (PyObject_SetAttr(sim, s_now, time_obj) < 0) {
+            Py_DECREF(entry);
+            failed = 1;
+            break;
+        }
+        events++;
+
+        PyObject *handle = NULL; /* owned; non-NULL => run the step loop */
+        PyObject *value = NULL;  /* owned */
+
+        if (from_runq) {
+            /* Direct-handoff wake: inlined _reattempt. */
+            PyObject *gone = PyObject_CallMethodNoArgs(runq, s_popleft);
+            if (gone == NULL) {
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            Py_DECREF(gone);
+            PyObject *waked = PyTuple_GET_ITEM(entry, 2); /* borrowed */
+            if (PyObject_SetAttr(waked, s_wake_scheduled, Py_False) < 0) {
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            PyObject *operation = PyObject_GetAttr(waked, s_pending_op);
+            PyObject *state = operation == NULL
+                                  ? NULL
+                                  : PyObject_GetAttr(waked, s_state);
+            if (state == NULL) {
+                Py_XDECREF(operation);
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            if (operation != Py_None && state != refs.DONE &&
+                state != refs.KILLED) {
+                PyObject *ocls = (PyObject *)Py_TYPE(operation);
+                PyObject *poll = PyObject_GetAttr(operation, s_poll);
+                PyObject *index =
+                    poll == NULL ? NULL
+                                 : PyObject_GetAttr(operation, s_index);
+                if (index == NULL) {
+                    Py_XDECREF(poll);
+                    goto wake_failed;
+                }
+                if (ocls == refs.Read) {
+                    PyObject *res = PyObject_CallFunctionObjArgs(
+                        poll, index, time_obj, NULL);
+                    if (res == NULL || !PyTuple_Check(res) ||
+                        PyTuple_GET_SIZE(res) != 2) {
+                        if (res != NULL && !PyErr_Occurred())
+                            PyErr_SetString(refs.ProtocolError,
+                                            "malformed poll result");
+                        Py_XDECREF(res);
+                        goto wake_poll_failed;
+                    }
+                    PyObject *st = PyTuple_GET_ITEM(res, 0);
+                    PyObject *payload = PyTuple_GET_ITEM(res, 1);
+                    if (status_is(st, "ok")) {
+                        handle = waked;
+                        Py_INCREF(handle);
+                        value = payload;
+                        Py_INCREF(value);
+                    }
+                    else if (status_is(st, "wait")) {
+                        if (PyObject_SetAttr(waked, s_state,
+                                             refs.BLOCKED_READ) < 0 ||
+                            PyObject_SetAttr(waked, s_pending_op,
+                                             operation) < 0 ||
+                            push_retry(sim, heap, payload, now, waked,
+                                       operation) < 0) {
+                            Py_DECREF(res);
+                            goto wake_poll_failed;
+                        }
+                    }
+                    else if (status_is(st, "empty")) {
+                        if (PyObject_SetAttr(waked, s_pending_op,
+                                             operation) < 0 ||
+                            park_blocked(waked, operation,
+                                         refs.BLOCKED_READ,
+                                         s_park_reader) < 0) {
+                            Py_DECREF(res);
+                            goto wake_poll_failed;
+                        }
+                    }
+                    else {
+                        PyErr_Format(refs.ProtocolError,
+                                     "bad poll_read status %R", st);
+                        Py_DECREF(res);
+                        goto wake_poll_failed;
+                    }
+                    Py_DECREF(res);
+                }
+                else if (ocls == refs.Write) {
+                    PyObject *token = PyObject_GetAttr(operation, s_token);
+                    if (token == NULL)
+                        goto wake_poll_failed;
+                    PyObject *res = PyObject_CallFunctionObjArgs(
+                        poll, index, token, time_obj, NULL);
+                    Py_DECREF(token);
+                    if (res == NULL || !PyTuple_Check(res) ||
+                        PyTuple_GET_SIZE(res) != 2) {
+                        if (res != NULL && !PyErr_Occurred())
+                            PyErr_SetString(refs.ProtocolError,
+                                            "malformed poll result");
+                        Py_XDECREF(res);
+                        goto wake_poll_failed;
+                    }
+                    PyObject *st = PyTuple_GET_ITEM(res, 0);
+                    if (status_is(st, "ok")) {
+                        handle = waked;
+                        Py_INCREF(handle);
+                        value = Py_None;
+                        Py_INCREF(value);
+                    }
+                    else if (status_is(st, "full")) {
+                        if (PyObject_SetAttr(waked, s_pending_op,
+                                             operation) < 0 ||
+                            park_blocked(waked, operation,
+                                         refs.BLOCKED_WRITE,
+                                         s_park_writer) < 0) {
+                            Py_DECREF(res);
+                            goto wake_poll_failed;
+                        }
+                    }
+                    else {
+                        PyErr_Format(refs.ProtocolError,
+                                     "bad poll_write status %R", st);
+                        Py_DECREF(res);
+                        goto wake_poll_failed;
+                    }
+                    Py_DECREF(res);
+                }
+                Py_DECREF(poll);
+                Py_DECREF(index);
+                goto wake_done;
+            wake_poll_failed:
+                Py_DECREF(poll);
+                Py_DECREF(index);
+            wake_failed:
+                Py_DECREF(operation);
+                Py_DECREF(state);
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+        wake_done:
+            Py_XDECREF(operation);
+            Py_XDECREF(state);
+            if (failed)
+                break;
+        }
+        else {
+            PyObject *popped = heap_pop(heap);
+            if (popped == NULL) {
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            PyObject *event = PyTuple_GET_ITEM(popped, 2); /* borrowed */
+            if ((PyObject *)Py_TYPE(event) == refs.ResumeEvent) {
+                PyObject *resumed = PyObject_GetAttr(event, s_handle);
+                PyObject *state =
+                    resumed == NULL ? NULL
+                                    : PyObject_GetAttr(resumed, s_state);
+                if (state == NULL) {
+                    Py_XDECREF(resumed);
+                    Py_DECREF(popped);
+                    Py_DECREF(entry);
+                    failed = 1;
+                    break;
+                }
+                if (state != refs.DONE && state != refs.KILLED) {
+                    handle = resumed; /* transfer */
+                    value = Py_None;
+                    Py_INCREF(value);
+                }
+                else {
+                    Py_DECREF(resumed);
+                }
+                Py_DECREF(state);
+            }
+            else {
+                /* Cold events (Start/Retry/Callback) dispatch through
+                 * the Python jump table; a callback may enable
+                 * observation, which the kernel cannot honour — hand
+                 * the rest of the run back to the pure loop. */
+                PyObject *res = PyObject_CallMethodObjArgs(
+                    sim, s_dispatch, event, NULL);
+                if (res == NULL) {
+                    Py_DECREF(popped);
+                    Py_DECREF(entry);
+                    failed = 1;
+                    break;
+                }
+                Py_DECREF(res);
+                PyObject *observed = PyObject_GetAttr(sim, s_observed);
+                if (observed == NULL) {
+                    Py_DECREF(popped);
+                    Py_DECREF(entry);
+                    failed = 1;
+                    break;
+                }
+                int hot = PyObject_IsTrue(observed);
+                Py_DECREF(observed);
+                if (hot < 0) {
+                    Py_DECREF(popped);
+                    Py_DECREF(entry);
+                    failed = 1;
+                    break;
+                }
+                if (hot) {
+                    Py_DECREF(popped);
+                    Py_DECREF(entry);
+                    bail = 1;
+                    if (events == event_limit)
+                        halted = 1;
+                    break;
+                }
+            }
+            Py_DECREF(popped);
+        }
+
+        /* -- fused step loop -------------------------------------- */
+        if (handle != NULL) {
+            PyObject *stepfn = PyObject_GetAttr(handle, s_stepfn);
+            PyObject *generator =
+                stepfn == NULL ? NULL
+                               : PyObject_GetAttr(handle, s_generator);
+            if (generator == NULL) {
+                Py_XDECREF(stepfn);
+                Py_DECREF(handle);
+                Py_XDECREF(value);
+                Py_DECREF(entry);
+                failed = 1;
+                break;
+            }
+            int trusted = (generator == Py_None);
+            while (1) {
+                PyObject *op = PyObject_CallFunctionObjArgs(
+                    stepfn, value, time_obj, NULL);
+                Py_CLEAR(value);
+                if (op == NULL) {
+                    failed = 1;
+                    break;
+                }
+                if (op == Py_None) {
+                    Py_DECREF(op);
+                    if (PyObject_SetAttr(handle, s_state, refs.DONE) < 0)
+                        failed = 1;
+                    break;
+                }
+                PyObject *state = PyObject_GetAttr(handle, s_state);
+                if (state == NULL) {
+                    Py_DECREF(op);
+                    failed = 1;
+                    break;
+                }
+                if (state == refs.KILLED) {
+                    Py_DECREF(state);
+                    Py_DECREF(op);
+                    break;
+                }
+                Py_DECREF(state);
+                PyObject *ocls = (PyObject *)Py_TYPE(op);
+                if (ocls == refs.Read) {
+                    if (trusted) {
+                        /* Self-polling machine: the poll already failed
+                         * idempotently; park directly from retry_at. */
+                        PyObject *retry_at =
+                            PyObject_GetAttr(op, s_retry_at);
+                        if (retry_at == NULL) {
+                            Py_DECREF(op);
+                            failed = 1;
+                            break;
+                        }
+                        if (retry_at == Py_None) {
+                            if (park_blocked(handle, op, refs.BLOCKED_READ,
+                                             s_park_reader) < 0)
+                                failed = 1;
+                        }
+                        else {
+                            if (PyObject_SetAttr(handle, s_state,
+                                                 refs.BLOCKED_READ) < 0 ||
+                                PyObject_SetAttr(handle, s_pending_op,
+                                                 op) < 0 ||
+                                push_retry(sim, heap, retry_at, now,
+                                           handle, op) < 0)
+                                failed = 1;
+                        }
+                        Py_DECREF(retry_at);
+                        Py_DECREF(op);
+                        break;
+                    }
+                    PyObject *poll = PyObject_GetAttr(op, s_poll);
+                    PyObject *index =
+                        poll == NULL ? NULL
+                                     : PyObject_GetAttr(op, s_index);
+                    PyObject *res =
+                        index == NULL
+                            ? NULL
+                            : PyObject_CallFunctionObjArgs(poll, index,
+                                                           time_obj, NULL);
+                    Py_XDECREF(poll);
+                    Py_XDECREF(index);
+                    if (res == NULL || !PyTuple_Check(res) ||
+                        PyTuple_GET_SIZE(res) != 2) {
+                        if (res != NULL && !PyErr_Occurred())
+                            PyErr_SetString(refs.ProtocolError,
+                                            "malformed poll result");
+                        Py_XDECREF(res);
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyObject *st = PyTuple_GET_ITEM(res, 0);
+                    if (status_is(st, "ok")) {
+                        value = PyTuple_GET_ITEM(res, 1);
+                        Py_INCREF(value);
+                        Py_DECREF(res);
+                        Py_DECREF(op);
+                        continue;
+                    }
+                    if (status_is(st, "wait")) {
+                        if (PyObject_SetAttr(handle, s_state,
+                                             refs.BLOCKED_READ) < 0 ||
+                            PyObject_SetAttr(handle, s_pending_op, op) < 0 ||
+                            push_retry(sim, heap, PyTuple_GET_ITEM(res, 1),
+                                       now, handle, op) < 0)
+                            failed = 1;
+                    }
+                    else if (status_is(st, "empty")) {
+                        if (park_blocked(handle, op, refs.BLOCKED_READ,
+                                         s_park_reader) < 0)
+                            failed = 1;
+                    }
+                    else {
+                        PyErr_Format(refs.ProtocolError,
+                                     "bad poll_read status %R", st);
+                        failed = 1;
+                    }
+                    Py_DECREF(res);
+                    Py_DECREF(op);
+                    break;
+                }
+                if (ocls == refs.Write) {
+                    if (trusted) {
+                        if (park_blocked(handle, op, refs.BLOCKED_WRITE,
+                                         s_park_writer) < 0)
+                            failed = 1;
+                        Py_DECREF(op);
+                        break;
+                    }
+                    PyObject *poll = PyObject_GetAttr(op, s_poll);
+                    PyObject *index =
+                        poll == NULL ? NULL
+                                     : PyObject_GetAttr(op, s_index);
+                    PyObject *token =
+                        index == NULL ? NULL
+                                      : PyObject_GetAttr(op, s_token);
+                    PyObject *res =
+                        token == NULL
+                            ? NULL
+                            : PyObject_CallFunctionObjArgs(
+                                  poll, index, token, time_obj, NULL);
+                    Py_XDECREF(poll);
+                    Py_XDECREF(index);
+                    Py_XDECREF(token);
+                    if (res == NULL || !PyTuple_Check(res) ||
+                        PyTuple_GET_SIZE(res) != 2) {
+                        if (res != NULL && !PyErr_Occurred())
+                            PyErr_SetString(refs.ProtocolError,
+                                            "malformed poll result");
+                        Py_XDECREF(res);
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyObject *st = PyTuple_GET_ITEM(res, 0);
+                    if (status_is(st, "ok")) {
+                        value = Py_None;
+                        Py_INCREF(value);
+                        Py_DECREF(res);
+                        Py_DECREF(op);
+                        continue;
+                    }
+                    if (status_is(st, "full")) {
+                        if (park_blocked(handle, op, refs.BLOCKED_WRITE,
+                                         s_park_writer) < 0)
+                            failed = 1;
+                    }
+                    else {
+                        PyErr_Format(refs.ProtocolError,
+                                     "bad poll_write status %R", st);
+                        failed = 1;
+                    }
+                    Py_DECREF(res);
+                    Py_DECREF(op);
+                    break;
+                }
+                if (ocls == refs.Delay) {
+                    if (PyObject_SetAttr(handle, s_state, refs.DELAYED) < 0 ||
+                        PyObject_SetAttr(handle, s_pending_op, op) < 0) {
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyObject *duration = PyObject_GetAttr(op, s_duration);
+                    if (duration == NULL) {
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    double d = PyFloat_AsDouble(duration);
+                    Py_DECREF(duration);
+                    if (d == -1.0 && PyErr_Occurred()) {
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyObject *seq = draw_sequence(sim);
+                    PyObject *when =
+                        seq == NULL ? NULL : PyFloat_FromDouble(now + d);
+                    PyObject *resume_event =
+                        when == NULL
+                            ? NULL
+                            : PyObject_GetAttr(handle, s_resume_event);
+                    if (resume_event == NULL) {
+                        Py_XDECREF(when);
+                        Py_XDECREF(seq);
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyObject *new_entry = PyTuple_New(3);
+                    if (new_entry == NULL) {
+                        Py_DECREF(resume_event);
+                        Py_DECREF(when);
+                        Py_DECREF(seq);
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    PyTuple_SET_ITEM(new_entry, 0, when);
+                    PyTuple_SET_ITEM(new_entry, 1, seq);
+                    PyTuple_SET_ITEM(new_entry, 2, resume_event);
+                    int rc = heap_push(heap, new_entry);
+                    Py_DECREF(new_entry);
+                    Py_DECREF(op);
+                    if (rc < 0)
+                        failed = 1;
+                    break;
+                }
+                if (ocls == refs.Halt) {
+                    if (PyObject_SetAttr(handle, s_state, refs.DONE) < 0) {
+                        Py_DECREF(op);
+                        failed = 1;
+                        break;
+                    }
+                    if (!trusted) {
+                        PyObject *res = PyObject_CallMethodNoArgs(
+                            generator, s_close);
+                        if (res == NULL) {
+                            Py_DECREF(op);
+                            failed = 1;
+                            break;
+                        }
+                        Py_DECREF(res);
+                    }
+                    Py_DECREF(op);
+                    break;
+                }
+                {
+                    PyObject *pname = PyObject_GetAttr(handle, s_name);
+                    PyErr_Format(refs.ProtocolError,
+                                 "process %V yielded unknown operation %R",
+                                 pname, "?", op);
+                    Py_XDECREF(pname);
+                    Py_DECREF(op);
+                    failed = 1;
+                    break;
+                }
+            }
+            Py_DECREF(generator);
+            Py_DECREF(stepfn);
+            Py_DECREF(handle);
+            Py_XDECREF(value);
+            value = NULL;
+        }
+        Py_DECREF(entry);
+        if (failed)
+            break;
+        if (events == event_limit) {
+            halted = 1;
+            break;
+        }
+    }
+
+    Py_DECREF(runq);
+    Py_DECREF(heap);
+
+    /* Mirror the pure loop's `finally`: the event count survives an
+     * exception so diagnostics stay truthful. */
+    {
+        PyObject *ptype = NULL, *pvalue = NULL, *ptb = NULL;
+        if (failed)
+            PyErr_Fetch(&ptype, &pvalue, &ptb);
+        PyObject *count = PyObject_GetAttr(sim, s_event_count);
+        if (count != NULL) {
+            long long total = PyLong_AsLongLong(count);
+            Py_DECREF(count);
+            if (!(total == -1 && PyErr_Occurred())) {
+                PyObject *updated = PyLong_FromLongLong(total + events);
+                if (updated != NULL) {
+                    PyObject_SetAttr(sim, s_event_count, updated);
+                    Py_DECREF(updated);
+                }
+            }
+        }
+        if (PyErr_Occurred() && !failed) {
+            /* Event-count bookkeeping failed on an otherwise clean
+             * run: surface it. */
+            return NULL;
+        }
+        PyErr_Clear();
+        if (failed) {
+            PyErr_Restore(ptype, pvalue, ptb);
+            return NULL;
+        }
+    }
+    return Py_BuildValue("(Lii)", events, halted, bail);
+}
+
+/* ---- configuration ----------------------------------------------------- */
+
+static PyObject *
+configure(PyObject *module, PyObject *args)
+{
+    PyObject *ns;
+    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &ns))
+        return NULL;
+#define FETCH(field, key)                                                  \
+    do {                                                                   \
+        PyObject *obj = PyDict_GetItemString(ns, key);                     \
+        if (obj == NULL) {                                                 \
+            PyErr_Format(PyExc_KeyError, "configure: missing %s", key);    \
+            return NULL;                                                   \
+        }                                                                  \
+        Py_INCREF(obj);                                                    \
+        Py_XSETREF(refs.field, obj);                                       \
+    } while (0)
+    FETCH(ResumeEvent, "ResumeEvent");
+    FETCH(RetryEvent, "RetryEvent");
+    FETCH(Read, "Read");
+    FETCH(Write, "Write");
+    FETCH(Delay, "Delay");
+    FETCH(Halt, "Halt");
+    FETCH(DONE, "DONE");
+    FETCH(KILLED, "KILLED");
+    FETCH(BLOCKED_READ, "BLOCKED_READ");
+    FETCH(BLOCKED_WRITE, "BLOCKED_WRITE");
+    FETCH(DELAYED, "DELAYED");
+    FETCH(ProtocolError, "ProtocolError");
+    FETCH(SimulationError, "SimulationError");
+#undef FETCH
+    refs.ready = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef kernel_methods[] = {
+    {"configure", configure, METH_VARARGS,
+     "Install the engine classes the drive loop dispatches on."},
+    {"drive", drive, METH_VARARGS,
+     "drive(sim, time_limit, event_limit) -> (events, halted, bail)\n"
+     "Run the stepped heap drive loop in C."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.kpn._ckernel",
+    "Compiled drive kernel for the stepped execution core.",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (intern_names() < 0)
+        return NULL;
+    return PyModule_Create(&kernel_module);
+}

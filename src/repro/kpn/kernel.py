@@ -1,0 +1,58 @@
+"""Loader for the optional compiled drive kernel.
+
+The stepped execution core has a hand-written C twin of its hottest
+loop (``repro/kpn/_ckernel.c``).  The extension is an optional
+accelerator: nothing in the library requires it, every behaviour has a
+pure-Python implementation, and traces are byte-identical either way
+(pinned by the golden-trace suite).
+
+Build it in place with::
+
+    REPRO_BUILD_CKERNEL=1 python setup.py build_ext --inplace
+
+or gate a pip install the same way (``REPRO_BUILD_CKERNEL=1 pip
+install -e .``).  Set ``REPRO_PURE_KERNEL=1`` to ignore a built
+extension and force the pure-Python loops — useful for benchmarking the
+pure path and for differential testing.
+
+:func:`configure` is called once by :mod:`repro.kpn.simulator` at
+import time, handing the extension the engine's event/operation classes
+and state members; until then the kernel is unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional
+
+_ck = None
+if os.environ.get("REPRO_PURE_KERNEL", "").strip().lower() not in (
+    "1",
+    "true",
+    "yes",
+):
+    try:
+        from repro.kpn import _ckernel as _ck  # type: ignore[attr-defined]
+    except ImportError:
+        _ck = None
+
+#: ``_ckernel.drive`` once configured, else ``None``.  The simulator
+#: tests this at construction to decide whether the compiled heap drive
+#: can be installed.
+DRIVE: Optional[Callable[[Any, float, int], tuple]] = None
+
+
+def available() -> bool:
+    """True when the compiled kernel is importable and configured."""
+    return DRIVE is not None
+
+
+def configure(namespace: Dict[str, Any]) -> Optional[Callable]:
+    """Hand the engine classes to the extension; returns its drive
+    entry point (or ``None`` when the extension is absent/disabled)."""
+    global DRIVE
+    if _ck is None:
+        return None
+    _ck.configure(namespace)
+    DRIVE = _ck.drive
+    return DRIVE

@@ -40,7 +40,7 @@ class Read(Operation):
     and a method bind from every poll the engine performs.
     """
 
-    __slots__ = ("endpoint", "channel", "index", "poll")
+    __slots__ = ("endpoint", "channel", "index", "poll", "retry_at")
 
     def __init__(self, endpoint: Any) -> None:
         self.endpoint = endpoint
@@ -48,6 +48,13 @@ class Read(Operation):
         self.channel = channel
         self.index = endpoint.index
         self.poll = channel.poll_read
+        #: Self-polling step machines (:mod:`repro.kpn.stepmachine`)
+        #: record the payload of the failed poll here when they hand a
+        #: blocked read back to the engine: ``None`` for ``empty`` (park)
+        #: or the ready instant for ``wait`` (timed channels).  The
+        #: engine trusts it instead of re-polling.  Generator execution
+        #: never reads or writes this field.
+        self.retry_at = None
 
     def __repr__(self) -> str:
         return f"Read(endpoint={self.endpoint!r})"

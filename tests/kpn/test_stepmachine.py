@@ -1,0 +1,168 @@
+"""Tests for the generator-free step-machine execution core."""
+
+import json
+
+import pytest
+
+from repro.kpn.errors import ProtocolError
+from repro.kpn.network import Network
+from repro.kpn.operations import Delay
+from repro.kpn.process import (
+    FunctionProcess,
+    PacedRelay,
+    PeriodicConsumer,
+    PeriodicSource,
+    Process,
+    RecordingSink,
+)
+from repro.kpn.simulator import Simulator
+from repro.kpn.stepmachine import compile_stepfn
+from repro.kpn.tracefile import recorder_to_dict
+from repro.kpn.trace import TraceRecorder
+from repro.rtc.pjd import PJD
+
+
+def pipeline(seed=7, tokens=12, capacity=4):
+    """source → transform → paced relay → sink, fully traced."""
+    recorder = TraceRecorder(record_events=True)
+    net = Network("p", recorder=recorder)
+    src = net.add_process(
+        PeriodicSource("src", PJD(10.0, jitter=4.0), tokens, seed=seed)
+    )
+    fn = net.add_process(
+        FunctionProcess("fn", lambda v: v * 2, service=1.5, seed=seed + 1)
+    )
+    relay = net.add_process(
+        PacedRelay("relay", PJD(10.0, jitter=2.0), seed=seed + 2)
+    )
+    snk = net.add_process(RecordingSink("snk"))
+    a = net.add_fifo("a", capacity)
+    b = net.add_fifo("b", capacity)
+    c = net.add_fifo("c", capacity)
+    src.output = a.writer
+    fn.input, fn.output = a.reader, b.writer
+    relay.input, relay.output = b.reader, c.writer
+    snk.input = c.reader
+    return net, snk
+
+
+def trace_bytes(net):
+    payload = recorder_to_dict(net.recorder)
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class TestCompileStepfn:
+    @pytest.mark.parametrize("process", [
+        PeriodicSource("s", PJD(10.0), 3),
+        PeriodicConsumer("c", PJD(10.0), 3),
+        FunctionProcess("f", lambda v: v),
+        PacedRelay("r", PJD(10.0)),
+        RecordingSink("k"),
+    ], ids=lambda p: type(p).__name__)
+    def test_standard_shapes_get_handwritten_machines(self, process):
+        step, generator = compile_stepfn(process)
+        assert callable(step)
+        assert generator is None  # trusted machine, no generator kept
+
+    def test_custom_process_falls_back_to_generator_adapter(self):
+        class Custom(Process):
+            def behavior(self):
+                yield Delay(1.0)
+
+        step, generator = compile_stepfn(Custom("x"))
+        assert callable(step)
+        assert generator is not None
+
+    def test_subclass_of_standard_shape_uses_its_own_behavior(self):
+        class Widened(PeriodicSource):
+            def behavior(self):
+                yield Delay(1.0)
+
+        _step, generator = compile_stepfn(Widened("w", PJD(10.0), 1))
+        assert generator is not None
+
+
+class TestExecModeEquivalence:
+    def test_stepped_and_generator_traces_byte_identical(self):
+        net_s, snk_s = pipeline()
+        net_s.run(exec_mode="stepped", kernel="pure")
+        net_g, snk_g = pipeline()
+        net_g.run(exec_mode="generator")
+        assert snk_s.records == snk_g.records
+        assert trace_bytes(net_s) == trace_bytes(net_g)
+
+    def test_stepped_is_default(self):
+        assert Simulator().exec_mode == "stepped"
+
+    def test_generator_mode_still_runs(self):
+        net, snk = pipeline(tokens=5)
+        _sim, stats = net.run(exec_mode="generator")
+        assert len(snk.records) == 5
+        assert stats.events > 0
+
+    def test_protocol_error_on_bad_operation_in_stepped_mode(self):
+        class Bad(Process):
+            def behavior(self):
+                yield "not-an-operation"
+
+        sim = Simulator(exec_mode="stepped")
+        sim.register(Bad("bad"))
+        with pytest.raises(ProtocolError):
+            sim.run()
+
+
+class TestModeValidation:
+    def test_unknown_exec_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(exec_mode="vectorized")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(kernel="jit")
+
+    def test_compiled_kernel_requires_stepped_mode(self):
+        with pytest.raises(ValueError):
+            Simulator(exec_mode="generator", kernel="compiled")
+
+    def test_compiled_kernel_unavailable_raises(self, monkeypatch):
+        from repro.kpn import kernel
+
+        monkeypatch.setattr(kernel, "DRIVE", None)
+        with pytest.raises(RuntimeError):
+            Simulator(kernel="compiled")
+
+
+class TestKernelSelection:
+    def test_pure_kernel_runs_and_matches_auto(self):
+        net_p, snk_p = pipeline()
+        net_p.run(kernel="pure")
+        net_a, snk_a = pipeline()
+        net_a.run(kernel="auto")
+        assert snk_p.records == snk_a.records
+        assert trace_bytes(net_p) == trace_bytes(net_a)
+
+    def test_compiled_kernel_matches_pure_when_built(self):
+        from repro.kpn import kernel
+
+        if not kernel.available():
+            pytest.skip("compiled kernel not built")
+        net_c, snk_c = pipeline()
+        net_c.run(kernel="compiled")
+        net_p, snk_p = pipeline()
+        net_p.run(kernel="pure")
+        assert snk_c.records == snk_p.records
+        assert trace_bytes(net_c) == trace_bytes(net_p)
+
+    def test_kernel_defers_to_pure_loop_under_observation(self):
+        # A transition hook makes the run observed; the compiled kernel
+        # must hand over to the pure loop and still finish the run.
+        net, snk = pipeline(tokens=6)
+        sim = net.instantiate()
+        transitions = []
+        sim.set_transition_hook(
+            lambda *args: transitions.append(args)
+        )
+        sim.run()
+        assert len(snk.records) == 6
+        assert transitions

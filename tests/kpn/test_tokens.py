@@ -90,3 +90,43 @@ class TestZeroCopy:
         view = Token(value=payload).view().value
         assert hash(view) == hash(payload)
         assert {payload: "cached"}[view] == "cached"
+
+
+class TestCopyStatsApi:
+    def test_snapshot_is_a_plain_dict(self):
+        COPY_STATS.reset()
+        COPY_STATS.count_copy(10)
+        snap = COPY_STATS.snapshot()
+        assert snap == {"copies": 1, "copied_bytes": 10, "views": 0}
+        # A snapshot is detached: later counting must not mutate it.
+        COPY_STATS.count_copy(5)
+        assert snap["copies"] == 1
+
+    def test_delta_since_snapshot(self):
+        COPY_STATS.reset()
+        COPY_STATS.count_copy(100)
+        before = COPY_STATS.snapshot()
+        COPY_STATS.count_copy(32)
+        COPY_STATS.views += 2
+        assert COPY_STATS.delta(before) == {
+            "copies": 1, "copied_bytes": 32, "views": 2
+        }
+
+    def test_merge_accepts_dict_and_instance(self):
+        from repro.kpn.tokens import PayloadCopyStats
+
+        stats = PayloadCopyStats()
+        stats.merge({"copies": 2, "copied_bytes": 20, "views": 1})
+        other = PayloadCopyStats()
+        other.count_copy(7)
+        stats.merge(other)
+        assert stats.as_dict() == {
+            "copies": 3, "copied_bytes": 27, "views": 1
+        }
+
+    def test_reset_zeroes_everything(self):
+        COPY_STATS.count_copy(1)
+        COPY_STATS.reset()
+        assert COPY_STATS.as_dict() == {
+            "copies": 0, "copied_bytes": 0, "views": 0
+        }

@@ -1,0 +1,113 @@
+"""Property tests: execution modes are observationally equivalent.
+
+The step-machine core, the partitioned batch advance and the compiled
+drive kernel are admissible only if they never change observable
+behaviour (DESIGN.md determinism policy).  The golden suite pins seven
+fixed scenarios; these properties search the space of *random* linear
+pipelines — random PJD timings, stage mixes, capacities and seeds —
+and require the complete per-channel event streams to be byte-identical
+across engine configurations.
+"""
+
+import json
+
+from hypothesis import given, strategies as st
+
+from repro.kpn.network import Network
+from repro.kpn.process import (
+    FunctionProcess,
+    PacedRelay,
+    PeriodicConsumer,
+    PeriodicSource,
+)
+from repro.kpn.trace import TraceRecorder
+from repro.kpn.tracefile import recorder_to_dict
+from repro.rtc.pjd import PJD
+
+from .strategies import jitters, periods
+
+
+@st.composite
+def pipeline_specs(draw):
+    """A random linear pipeline: source → stages → consumer."""
+    period = draw(periods(min_value=5.0, max_value=30.0))
+    jitter = draw(jitters(max_value=0.8 * period))
+    tokens = draw(st.integers(min_value=3, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    capacity = draw(st.integers(min_value=1, max_value=5))
+    stages = draw(st.lists(
+        st.sampled_from(["fn", "relay"]), min_size=0, max_size=3
+    ))
+    service = draw(st.floats(min_value=0.0, max_value=0.5 * period,
+                             allow_nan=False, allow_infinity=False))
+    return dict(period=period, jitter=jitter, tokens=tokens, seed=seed,
+                capacity=capacity, stages=stages, service=service)
+
+
+def build_pipeline(spec):
+    recorder = TraceRecorder(record_events=True)
+    net = Network("prop", recorder=recorder)
+    src = net.add_process(PeriodicSource(
+        "src", PJD(spec["period"], jitter=spec["jitter"]),
+        spec["tokens"], seed=spec["seed"],
+    ))
+    upstream = src
+    for index, kind in enumerate(spec["stages"]):
+        if kind == "fn":
+            stage = FunctionProcess(
+                f"s{index}", lambda v: v + 1,
+                service=spec["service"], seed=spec["seed"] + index,
+            )
+        else:
+            stage = PacedRelay(
+                f"s{index}",
+                PJD(spec["period"], jitter=0.5 * spec["jitter"]),
+                seed=spec["seed"] + index,
+            )
+        net.add_process(stage)
+        fifo = net.add_fifo(f"c{index}", spec["capacity"])
+        upstream.output = fifo.writer
+        stage.input = fifo.reader
+        upstream = stage
+    consumer = net.add_process(PeriodicConsumer(
+        "snk", PJD(spec["period"], jitter=0.25 * spec["jitter"]),
+        spec["tokens"], seed=spec["seed"] + 99,
+    ))
+    last = net.add_fifo("last", spec["capacity"])
+    upstream.output = last.writer
+    consumer.input = last.reader
+    return net, consumer
+
+
+def run_trace(spec, **kwargs):
+    net, consumer = build_pipeline(spec)
+    net.run(max_events=20_000, **kwargs)
+    payload = recorder_to_dict(net.recorder)
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return blob, [t.value for t in consumer.tokens], consumer.arrival_times
+
+
+@given(pipeline_specs())
+def test_stepped_equals_generator(spec):
+    stepped = run_trace(spec, exec_mode="stepped", kernel="pure")
+    generator = run_trace(spec, exec_mode="generator")
+    assert stepped == generator
+
+
+@given(pipeline_specs())
+def test_partitioned_equals_interleaved(spec):
+    partitioned = run_trace(spec, partitioned=True, kernel="pure")
+    interleaved = run_trace(spec, partitioned=False, kernel="pure")
+    assert partitioned == interleaved
+
+
+@given(pipeline_specs())
+def test_compiled_kernel_equals_pure(spec):
+    from repro.kpn import kernel
+
+    if not kernel.available():
+        return  # nothing to differentiate without the extension
+    compiled = run_trace(spec, kernel="compiled")
+    pure = run_trace(spec, kernel="pure")
+    assert compiled == pure

@@ -13,7 +13,9 @@ from repro.tools.bench_compare import (
     format_report,
     latest_reference,
     load_db,
+    machine_fingerprint,
     main,
+    same_machine,
     save_db,
     self_test,
 )
@@ -106,13 +108,18 @@ class TestIO:
 
 
 class TestFailOnRegression:
-    def _seed_db(self, tmp_path):
+    def _seed_db(self, tmp_path, machine=None):
+        # The latest run carries this host's fingerprint (as real
+        # recordings do) so the gate is a hard gate, not advisory.
+        if machine is None:
+            machine = machine_fingerprint()
         db = {
             "version": 1,
             "baseline": {"label": "seed", "results": {"a": stats(1e-3)}},
             "runs": [
                 {"label": "older", "results": {"a": stats(2e-3)}},
-                {"label": "latest", "results": {"a": stats(4e-3)}},
+                {"label": "latest", "machine": machine,
+                 "results": {"a": stats(4e-3)}},
             ],
         }
         save_db(tmp_path / RESULTS_FILENAME, db)
@@ -146,6 +153,62 @@ class TestFailOnRegression:
         assert load_db(tmp_path / RESULTS_FILENAME) == db
 
 
+class TestMachineFingerprint:
+    def test_fingerprint_fields(self):
+        fp = machine_fingerprint()
+        assert set(fp) == {"cpu", "cores", "python"}
+        assert fp["cores"] >= 1
+        assert fp["cpu"]
+
+    def test_same_machine_matches_own_fingerprint(self):
+        assert same_machine({"machine": machine_fingerprint()})
+
+    def test_foreign_or_missing_fingerprint_differs(self):
+        fp = machine_fingerprint()
+        assert not same_machine({"machine": dict(fp, cpu="other cpu")})
+        assert not same_machine({"label": "legacy", "results": {}})
+
+    def test_regression_across_machines_warns_not_fails(
+            self, tmp_path, monkeypatch, capsys):
+        """A slowdown vs a run recorded on another machine must not
+        gate CI — absolute timings are only comparable per-host."""
+        import repro.tools.bench_compare as bc
+
+        foreign = dict(machine_fingerprint(), cpu="some other cpu")
+        db = {
+            "version": 1,
+            "baseline": {"label": "seed", "results": {"a": stats(1e-3)}},
+            "runs": [{"label": "latest", "machine": foreign,
+                      "results": {"a": stats(4e-3)}}],
+        }
+        save_db(tmp_path / RESULTS_FILENAME, db)
+        monkeypatch.setattr(
+            bc, "run_benchmarks", lambda root, smoke: {"a": stats(6e-3)}
+        )
+        argv = ["--repo-root", str(tmp_path), "--fail-on-regression", "15"]
+        assert bc.main(argv) == 0
+        assert "WARN" in capsys.readouterr().err
+
+    def test_recorded_runs_carry_fingerprint(
+            self, tmp_path, monkeypatch):
+        import repro.tools.bench_compare as bc
+
+        db = {
+            "version": 1,
+            "baseline": {"label": "seed", "results": {"a": stats(1e-3)}},
+            "runs": [],
+        }
+        save_db(tmp_path / RESULTS_FILENAME, db)
+        monkeypatch.setattr(
+            bc, "run_benchmarks", lambda root, smoke: {"a": stats(1e-3)}
+        )
+        assert bc.main(
+            ["--repo-root", str(tmp_path), "--label", "probe"]
+        ) == 0
+        recorded = load_db(tmp_path / RESULTS_FILENAME)
+        assert recorded["runs"][-1]["machine"] == machine_fingerprint()
+
+
 class TestRepoTrajectory:
     def test_committed_trajectory_is_well_formed(self):
         """The in-repo BENCH_primitives.json must stay loadable and show
@@ -161,3 +224,22 @@ class TestRepoTrajectory:
         if db["runs"]:
             latest = db["runs"][-1]["results"]["test_simulator_throughput"]
             assert base["mean"] / latest["mean"] >= 1.5
+
+
+class TestProfileDumps:
+    def test_smoke_profile_run_writes_pstats_dumps(self, tmp_path):
+        """--profile produces one pstats-loadable dump per benchmark."""
+        import pstats
+        from pathlib import Path
+
+        from repro.tools.bench_compare import run_benchmarks
+
+        repo_root = Path(__file__).resolve().parents[2]
+        profile_dir = tmp_path / "profs"
+        results = run_benchmarks(
+            repo_root, smoke=True, profile_dir=profile_dir
+        )
+        dumps = sorted(profile_dir.glob("profile-*.prof"))
+        assert len(dumps) == len(results)
+        stats = pstats.Stats(str(dumps[0]))
+        assert stats.total_calls > 0
