@@ -60,6 +60,13 @@ class CampaignConfig:
     max_shrink_runs: int = 48
     cache: Optional[ResultCache] = None
     generator: Optional[ScenarioGenerator] = None
+    #: Streaming run ledger (a :class:`~repro.obs.ledger.LedgerWriter`):
+    #: when set, the campaign appends campaign-start / per-task /
+    #: scenario-verdict / campaign-end records as it runs, so `repro
+    #: top` and the status endpoint observe it live.  Pure
+    #: observability — verdicts and the campaign digest are independent
+    #: of it.
+    ledger: Optional[object] = None
 
 
 @dataclass
@@ -95,6 +102,18 @@ class CampaignResult:
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     shrunk: Dict[str, ShrinkResult] = field(default_factory=dict)
     stats: Optional[SweepStats] = None
+    #: Fleet-wide mergeable metric aggregate over every task the main
+    #: batch executed (the executor's parent-side snapshot merge) —
+    #: the source of the report's ``stream`` section, and exactly what
+    #: a ledger replay reconstructs.
+    metrics: Optional[object] = None
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts = {VERDICT_PASS: 0, VERDICT_VIOLATION: 0,
+                  VERDICT_EXPECTED: 0, VERDICT_MISSED: 0}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] += 1
+        return counts
 
     @property
     def failures(self) -> List[ScenarioOutcome]:
@@ -115,6 +134,24 @@ class CampaignResult:
         blob = json.dumps({"campaign": payload, "seed": self.seed},
                           sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def stream_summary(metrics) -> Dict[str, object]:
+    """The batch-end streaming aggregate: sketch percentile digests and
+    fleet counters from the executor's merged
+    :class:`~repro.obs.sketch.MetricsSnapshot`.
+
+    This exact shape appears in the ``campaign-end`` ledger record and
+    in the campaign report's ``stream`` section — and a ledger replay's
+    merged snapshot reproduces it, which is the acceptance criterion
+    the streaming tests pin.
+    """
+    if metrics is None or metrics.empty:
+        return {}
+    return {
+        "percentiles": metrics.percentile_digests(),
+        "counters": dict(sorted(metrics.counters.items())),
+    }
 
 
 def run_scenario(
@@ -170,10 +207,19 @@ def run_campaign(
     say(f"generated {len(scenarios)} scenarios "
         f"(seed={config.seed}, budget={config.budget})")
 
+    ledger = config.ledger
+    if ledger is not None:
+        ledger.campaign_start(
+            seed=config.seed, budget=config.budget,
+            scenarios=len(scenarios),
+            oracles=[o.name for o in oracles],
+        )
+
     specs = []
     for scenario in scenarios:
         specs.extend(scenario.specs())
-    executor = SweepExecutor(jobs=config.jobs, cache=config.cache)
+    executor = SweepExecutor(jobs=config.jobs, cache=config.cache,
+                             ledger=ledger)
     results = executor.run(specs)
 
     outcome_list: List[ScenarioOutcome] = []
@@ -183,6 +229,14 @@ def run_campaign(
         outcome = evaluate_scenario(scenario, reference, duplicated,
                                     oracles)
         outcome_list.append(outcome)
+        if ledger is not None:
+            ledger.scenario_verdict(
+                index=scenario.index,
+                digest=outcome.digest,
+                label=scenario.label(),
+                verdict=outcome.verdict,
+                violations=[v.as_dict() for v in outcome.violations],
+            )
         if not outcome.passed:
             say(f"FAIL {scenario.label()}: {outcome.verdict} "
                 + "; ".join(v.message for v in outcome.violations))
@@ -193,6 +247,7 @@ def run_campaign(
         oracle_names=tuple(o.name for o in oracles),
         outcomes=outcome_list,
         stats=executor.stats,
+        metrics=executor.metrics,
     )
 
     if config.shrink:
@@ -206,6 +261,14 @@ def run_campaign(
                 cache=config.cache,
                 max_runs=config.max_shrink_runs,
             )
+
+    if ledger is not None:
+        ledger.campaign_end(
+            digest=result.digest(),
+            verdicts=result.verdict_counts(),
+            ok=result.ok,
+            stream=stream_summary(result.metrics),
+        )
 
     verdicts = [o.verdict for o in result.outcomes]
     say(f"campaign digest {result.digest()[:16]}: "

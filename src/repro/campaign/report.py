@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from repro.campaign.engine import CampaignResult
+from repro.campaign.engine import CampaignResult, stream_summary
 from repro.campaign.oracles import ALL_ORACLES
 from repro.obs.report import _validate_node
 
@@ -68,6 +68,9 @@ CAMPAIGN_REPORT_SCHEMA: Dict[str, Any] = {
         "reduced": (bool,),                # did shrinking make progress?
     }],
     "executor": dict,                      # SweepStats.as_dict() or {}
+    "stream": dict,                        # batch-end streaming aggregate
+                                           # (percentile digests + fleet
+                                           # counters) or {}
 }
 
 
@@ -136,6 +139,7 @@ def build_campaign_report(result: CampaignResult) -> Dict[str, Any]:
         "executor": (
             result.stats.as_dict() if result.stats is not None else {}
         ),
+        "stream": stream_summary(result.metrics),
     }
 
 
@@ -205,5 +209,16 @@ def render_campaign_report(report: Dict[str, Any]) -> str:
             f"{executor.get('cache_hits')} cache hits, "
             f"jobs={executor.get('jobs')}, "
             f"wall {executor.get('wall_time_s', 0.0):.1f} s"
+        )
+    stream = report.get("stream") or {}
+    latency = (stream.get("percentiles") or {}).get("detect.latency_ms")
+    if latency and latency.get("count"):
+        counters = stream.get("counters") or {}
+        lines.append("")
+        lines.append(
+            f"Fleet detect.latency_ms (merged sketch, n={latency['count']}):"
+            f" p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+            f"max {latency['max']:.2f} ms; "
+            f"{counters.get('detect.false_positives', 0)} false positive(s)"
         )
     return "\n".join(lines)

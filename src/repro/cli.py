@@ -31,6 +31,15 @@ Commands
     minimal reproducers.  ``--out-dir`` persists the campaign report and
     reproducer JSON files; ``--replay`` re-executes previously saved
     reproducers instead.  Exits nonzero on any surviving violation.
+    ``--ledger PATH`` streams an append-only ``repro.ledger/1`` JSONL
+    record of the run as it happens; ``--status-port N`` additionally
+    serves the live status document over HTTP while the campaign runs.
+``top``
+    Render the live status of a run ledger: progress bar, ETA, verdict
+    counts, merged ``detect.latency_ms`` percentiles and per-worker
+    throughput.  ``--watch N`` refreshes every N seconds until the run
+    completes, ``--json PATH`` writes the status document, ``--port N``
+    serves it over HTTP (JSON + Prometheus text) instead of rendering.
 ``bench``
     Run the primitive benchmark suite and append a labelled run (with
     the machine fingerprint of this host) to the
@@ -341,6 +350,22 @@ def _cmd_campaign(args) -> int:
                 failures += 1
         return 1 if failures else 0
 
+    ledger = None
+    server = None
+    if args.status_port is not None and not args.ledger:
+        print("--status-port requires --ledger", file=sys.stderr)
+        return 2
+    if args.ledger:
+        from repro.obs import LedgerWriter, StatusServer
+
+        ledger = LedgerWriter(args.ledger)
+        print(f"  streaming run ledger to {args.ledger}")
+        if args.status_port is not None:
+            server = StatusServer(args.ledger, port=args.status_port)
+            server.start()
+            print(f"  status endpoint: "
+                  f"http://127.0.0.1:{server.port}/status")
+
     config = CampaignConfig(
         seed=args.seed,
         budget=args.budget,
@@ -349,10 +374,17 @@ def _cmd_campaign(args) -> int:
         self_tests=not args.no_self_tests,
         shrink=not args.no_shrink,
         cache=cache,
+        ledger=ledger,
     )
-    result = run_campaign(
-        config, progress=lambda message: print(f"  {message}")
-    )
+    try:
+        result = run_campaign(
+            config, progress=lambda message: print(f"  {message}")
+        )
+    finally:
+        if server is not None:
+            server.close()
+        if ledger is not None:
+            ledger.close()
     report = build_campaign_report(result)
     validate_campaign_report(report)
     print()
@@ -387,16 +419,61 @@ def _cmd_campaign(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_top(args) -> int:
+    import json
+    import time
+
+    from repro.obs import StatusServer, read_status, render_top
+
+    if args.port is not None:
+        with StatusServer(args.ledger, port=args.port) as server:
+            print(f"serving {args.ledger} at "
+                  f"http://127.0.0.1:{server.port}/status "
+                  "(also /metrics; Ctrl-C to stop)")
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+        return 0
+
+    status = read_status(args.ledger)
+    if args.watch is not None:
+        # Clear-and-redraw refresh loop until the run completes (a
+        # campaign-end / final sweep-end record appears in the ledger).
+        try:
+            while True:
+                status = read_status(args.ledger)
+                sys.stdout.write("\x1b[2J\x1b[H" + render_top(status)
+                                 + "\n")
+                sys.stdout.flush()
+                if status.get("complete"):
+                    break
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            pass
+    else:
+        print(render_top(status))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(status, handle, indent=2, sort_keys=True)
+        print(f"status JSON written to {args.json}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.tools.bench_compare import (
         BenchCompareError,
+        OBS_OVERHEAD_PCT,
         RESULTS_FILENAME,
         _utc_now,
         format_report,
         load_db,
         machine_fingerprint,
+        measure_obs_overhead,
+        obs_overhead_check,
         run_benchmarks,
         save_db,
     )
@@ -429,6 +506,15 @@ def _cmd_bench(args) -> int:
     print(f"baseline: {db['baseline'].get('label', '?')} "
           f"({db['baseline'].get('captured', '?')})")
     print(format_report(db["baseline"]["results"], results))
+    # Gate the streaming-observability budget on an interleaved A/B
+    # measurement (drift-immune), not the sequential benchmark pair.
+    overhead = measure_obs_overhead()
+    print(f"\nstreaming obs overhead (interleaved): {overhead:+.1f} % "
+          f"(budget {OBS_OVERHEAD_PCT:.1f} %)")
+    obs_failure = obs_overhead_check(overhead)
+    if obs_failure:
+        print(f"\nFAIL: {obs_failure}", file=sys.stderr)
+        return 1
     if profile_dir is not None:
         dumps = sorted(profile_dir.glob("profile-*.prof"))
         print(f"\n{len(dumps)} cProfile dump(s) in {profile_dir} "
@@ -566,8 +652,31 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--replay", nargs="+", metavar="FILE",
                           help="replay saved reproducer files instead of "
                                "running a campaign")
+    campaign.add_argument("--ledger", metavar="PATH",
+                          help="stream an append-only repro.ledger/1 "
+                               "JSONL record of the run to PATH")
+    campaign.add_argument("--status-port", type=int, default=None,
+                          metavar="N",
+                          help="serve the live status document over HTTP "
+                               "on port N while the campaign runs "
+                               "(0 = ephemeral; requires --ledger)")
     _add_sweep_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    top = sub.add_parser(
+        "top",
+        help="render the live status of a run ledger",
+    )
+    top.add_argument("ledger", help="path of the repro.ledger/1 JSONL file")
+    top.add_argument("--watch", type=float, default=None, metavar="SECS",
+                     help="refresh every SECS seconds until the run "
+                          "completes")
+    top.add_argument("--json", metavar="PATH",
+                     help="write the status document here as JSON")
+    top.add_argument("--port", type=int, default=None, metavar="N",
+                     help="serve the status document over HTTP instead "
+                          "of rendering (0 = ephemeral port)")
+    top.set_defaults(func=_cmd_top)
 
     bench = sub.add_parser(
         "bench",

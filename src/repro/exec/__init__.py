@@ -23,6 +23,7 @@ from repro.exec.results import (
     MonitorRecord,
     TaskResult,
     hash_values,
+    snapshot_for_result,
 )
 from repro.exec.taskspec import (
     KIND_DUPLICATED,
@@ -62,6 +63,7 @@ __all__ = [
     "hash_values",
     "run_chunk",
     "run_sweep",
+    "snapshot_for_result",
     "spec_from_jsonable",
     "spec_to_jsonable",
 ]

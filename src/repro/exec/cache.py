@@ -36,7 +36,8 @@ from repro.exec.results import TaskResult
 
 #: Version of the on-disk entry format (including the TaskResult shape).
 #: Bump whenever either changes; old entries then recompute in place.
-CACHE_SCHEMA_VERSION = 1
+#: v2: TaskResult grew ``metrics`` / ``worker`` (streaming snapshots).
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

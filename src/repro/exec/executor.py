@@ -15,7 +15,13 @@ With a :class:`~repro.exec.cache.ResultCache` attached, cached digests
 short-circuit before any submission and fresh results are persisted on
 completion.  Progress is observable through a
 :class:`~repro.obs.metrics.MetricsRegistry` (``sweep.*`` counters and
-the per-task wall-time histogram) and/or a ``progress`` callback.
+the per-task wall-time histogram), a ``progress`` callback, and/or a
+:class:`~repro.obs.ledger.LedgerWriter` — the streaming path: every
+submission and completion is appended to the run ledger as it happens,
+and each result's mergeable :class:`~repro.obs.sketch.MetricsSnapshot`
+is folded into the executor's fleet-wide ``metrics`` aggregate
+(extending the ``COPY_STATS`` delta pattern), so campaign-scale
+percentiles exist without shipping raw series.
 
 Because every run is a pure function of its spec (seeded RNG only — see
 ``tests/experiments/test_runner.py::TestSeedPurity``), parallel, serial
@@ -79,6 +85,7 @@ class SweepExecutor:
         registry=None,
         chunksize: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        ledger=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -87,27 +94,42 @@ class SweepExecutor:
         self.registry = registry
         self.chunksize = chunksize
         self.progress = progress
+        self.ledger = ledger
         self.stats = SweepStats()
+        # Fleet-wide mergeable aggregate over every result this executor
+        # has seen (cache hits included); reset per run().
+        from repro.obs.sketch import MetricsSnapshot
+
+        self.metrics = MetricsSnapshot()
 
     # -- public API --------------------------------------------------------
 
     def run(self, specs: Sequence[TaskSpec]) -> List[TaskResult]:
         """Execute ``specs``; returns results in input order."""
+        from repro.obs.sketch import MetricsSnapshot
+
         started = time.perf_counter()
         specs = list(specs)
         stats = SweepStats(tasks=len(specs), jobs=self.jobs)
         results: List[Optional[TaskResult]] = [None] * len(specs)
+        self.metrics = MetricsSnapshot()
+        if self.ledger is not None:
+            self.ledger.sweep_start(len(specs), self.jobs)
 
         digests: List[Optional[str]] = [None] * len(specs)
         pending: List[int] = []
         for index, spec in enumerate(specs):
             if self.cache is not None:
-                digest = spec.digest()
-                digests[index] = digest
-                hit = self.cache.get(digest)
+                digests[index] = spec.digest()
+            if self.ledger is not None:
+                self.ledger.task_submitted(index, spec.kind,
+                                           digest=digests[index])
+            if digests[index] is not None:
+                hit = self.cache.get(digests[index])
                 if hit is not None:
                     results[index] = hit
                     stats.cache_hits += 1
+                    self._stream(index, hit, cache_hit=True)
                     self._report(stats, spec, hit)
                     continue
             pending.append(index)
@@ -127,6 +149,8 @@ class SweepExecutor:
         stats.wall_time_s = time.perf_counter() - started
         self._flush_metrics(stats)
         self.stats = stats
+        if self.ledger is not None:
+            self.ledger.sweep_end(stats.as_dict())
         return results  # type: ignore[return-value]
 
     # -- execution paths ---------------------------------------------------
@@ -135,6 +159,7 @@ class SweepExecutor:
         for index in pending:
             result = execute_task(specs[index])
             results[index] = result
+            self._stream(index, result)
             self._account(stats, specs[index], result)
 
     def _run_pool(self, specs, pending, results, stats) -> None:
@@ -155,7 +180,19 @@ class SweepExecutor:
                 for index, result in future.result():
                     results[index] = result
                     self._merge_copy_stats(result)
+                    self._stream(index, result)
                     self._account(stats, specs[index], result)
+
+    def _stream(self, index, result, cache_hit: bool = False) -> None:
+        """Streaming bookkeeping for one completed task: fold its
+        mergeable snapshot into the fleet aggregate and append the
+        completion record to the run ledger (when one is attached)."""
+        if result.metrics:
+            from repro.obs.sketch import MetricsSnapshot
+
+            self.metrics.merge(MetricsSnapshot.from_dict(result.metrics))
+        if self.ledger is not None:
+            self.ledger.task_finished(index, result, cache_hit=cache_hit)
 
     def _merge_copy_stats(self, result) -> None:
         """Credit a pool worker's zero-copy counters to this process.
@@ -205,6 +242,7 @@ def run_sweep(
     registry=None,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    ledger=None,
 ) -> List[TaskResult]:
     """One-shot convenience wrapper around :class:`SweepExecutor`."""
     return SweepExecutor(
@@ -213,4 +251,5 @@ def run_sweep(
         registry=registry,
         chunksize=chunksize,
         progress=progress,
+        ledger=ledger,
     ).run(specs)

@@ -83,6 +83,15 @@ class TaskResult:
     #: Worker wall-clock for the run (set by the executor path; cache
     #: hits report the original execution's time).
     wall_time_s: float = 0.0
+    #: Serialised :class:`~repro.obs.sketch.MetricsSnapshot` of this
+    #: run (counters, gauge stats, latency sketches) — the mergeable
+    #: summary streamed into the run ledger and folded parent-side into
+    #: fleet-wide aggregates, so raw series never cross the pool
+    #: boundary.  Same delta pattern as ``copy_stats``.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Fingerprint of the process that executed the run (``pid`` /
+    #: ``host``); cache hits report the original executor.
+    worker: Optional[Dict[str, Any]] = None
 
     @property
     def token_count(self) -> int:
@@ -126,6 +135,56 @@ class TaskResult:
             if stream is None or record.stream == stream:
                 return record
         return None
+
+
+def snapshot_for_result(result: TaskResult) -> Dict[str, Any]:
+    """The serialised mergeable metrics snapshot of one task result.
+
+    Built *after* the run finished (it reads the reduced result only),
+    so streaming can never perturb execution.  The snapshot carries:
+
+    * counters — events, tokens, stalls, detection report counts, the
+      Eq. 3/5 **false-positive count** (reports with no preceding
+      injection) and the zero-copy payload accounting;
+    * the ``detect.latency_ms`` **sketch** (first post-injection
+      detection latency — the Eqs. 6–8 headline metric) plus the
+      ``task.wall_ms`` sketch;
+    * per-task throughput gauges, from which per-worker events/sec is
+      derived ledger-side.
+    """
+    from repro.obs.sketch import MetricsSnapshot
+
+    snap = MetricsSnapshot()
+    snap.count("tasks.total")
+    snap.count("tasks.ok" if result.ok else "tasks.error")
+    if result.wall_time_s:
+        snap.observe("task.wall_ms", result.wall_time_s * 1e3)
+    if not result.ok:
+        return snap.as_dict()
+    snap.count("sim.events", result.events)
+    snap.count("consumer.tokens", result.token_count)
+    snap.count("consumer.stalls", result.stalls)
+    snap.count("detect.reports", len(result.detections))
+    false_positives = sum(
+        1 for record in result.detections
+        if result.injected_at is None or record.time < result.injected_at
+    )
+    snap.count("detect.false_positives", false_positives)
+    if result.copy_stats:
+        for key, value in result.copy_stats.items():
+            snap.count(f"copy.{key}", value)
+    latency = result.detection_latency()
+    if latency is not None:
+        snap.observe("detect.latency_ms", latency)
+    for site in ("selector", "replicator"):
+        site_latency = result.detection_latency(site)
+        if site_latency is not None:
+            snap.observe(f"detect.latency_ms.{site}", site_latency)
+    if result.wall_time_s:
+        snap.gauge_sample(
+            "task.events_per_sec", result.events / result.wall_time_s
+        )
+    return snap.as_dict()
 
 
 def hash_values(values: Sequence[Any]) -> List[str]:

@@ -14,6 +14,8 @@ harnesses here at module scope would be circular.
 
 from __future__ import annotations
 
+import os
+import platform
 import time
 from typing import List, Sequence, Tuple
 
@@ -22,6 +24,7 @@ from repro.exec.results import (
     MonitorRecord,
     TaskResult,
     hash_values,
+    snapshot_for_result,
 )
 from repro.exec.taskspec import (
     KIND_REFERENCE,
@@ -57,6 +60,8 @@ def execute_task(spec: TaskSpec) -> TaskResult:
         )
     result.copy_stats = COPY_STATS.delta(copies_before)
     result.wall_time_s = time.perf_counter() - start
+    result.worker = {"pid": os.getpid(), "host": platform.node()}
+    result.metrics = snapshot_for_result(result)
     return result
 
 

@@ -52,6 +52,10 @@ class ReferenceRun:
     stalls: int
     max_fills: dict
     events: int
+    #: Zero-copy accounting delta (``COPY_STATS``) attributable to this
+    #: run alone — valid whether the run happened inline or in a pool
+    #: worker, because the delta is taken around the simulation.
+    copy_stats: Optional[dict] = None
 
 
 @dataclass
@@ -77,6 +81,10 @@ class DuplicatedRun:
     #: was not observed) — registry + timeline, consumed by
     #: :mod:`repro.obs.report` and :mod:`repro.obs.chrometrace`.
     obs: Optional[Any] = field(repr=False, default=None)
+    #: Zero-copy accounting delta (``COPY_STATS``) attributable to this
+    #: run alone — the same per-run delta the sweep workers ship, so
+    #: ``repro report`` shows it for pooled runs too.
+    copy_stats: Optional[dict] = None
 
     def detection_latency(self, site: Optional[str] = None
                           ) -> Optional[float]:
@@ -116,6 +124,9 @@ def run_reference(
         variant=variant,
         initial_fill=sizing.selector_priming,
     )
+    from repro.kpn.tokens import COPY_STATS
+
+    copy_before = COPY_STATS.snapshot()
     _sim, stats = reference.network.run(
         max_events=tokens * MAX_EVENTS_PER_TOKEN,
         exec_mode=exec_mode,
@@ -130,6 +141,7 @@ def run_reference(
         stalls=consumer.stalls,
         max_fills=reference.network.max_fills(),
         events=stats.events,
+        copy_stats=COPY_STATS.delta(copy_before),
     )
 
 
@@ -201,7 +213,11 @@ def run_duplicated(
     if fault is not None:
         injector = FaultInjector(fault, timeline=timeline)
         injector.arm(sim, duplicated)
+    from repro.kpn.tokens import COPY_STATS
+
+    copy_before = COPY_STATS.snapshot()
     stats = sim.run(max_events=tokens * MAX_EVENTS_PER_TOKEN)
+    copy_delta = COPY_STATS.delta(copy_before)
 
     model = overhead_model or OverheadModel()
     consumer = duplicated.consumer
@@ -239,4 +255,5 @@ def run_duplicated(
         network=duplicated,
         stats=stats,
         obs=obs,
+        copy_stats=copy_delta,
     )

@@ -9,7 +9,13 @@ The package is organised as two halves plus two consumers:
   (process transitions, fault injections, detections) plus the
   :class:`Observability` bundle runs are observed through;
 * :mod:`repro.obs.chrometrace` — Chrome-trace-event (Perfetto) export;
-* :mod:`repro.obs.report` — the ``repro report`` run-report builder.
+* :mod:`repro.obs.report` — the ``repro report`` run-report builder;
+* the streaming half (``repro.obs.stream``): :mod:`repro.obs.sketch`
+  (mergeable metric sketches workers ship on TaskResults),
+  :mod:`repro.obs.ledger` (the ``repro.ledger/1`` append-only JSONL
+  run ledger with tolerant replay) and :mod:`repro.obs.live` (the
+  ``repro top`` renderer, Prometheus text exposition and the read-only
+  HTTP status endpoint).
 """
 
 from repro.obs.metrics import (
@@ -43,6 +49,25 @@ from repro.obs.rtccache import (
     rtc_cache_stats,
     summarize_cache_gauges,
 )
+from repro.obs.sketch import (
+    SNAPSHOT_SCHEMA,
+    LogHistogramSketch,
+    MetricsSnapshot,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerReplay,
+    LedgerWriter,
+    build_status,
+    merged_snapshot,
+    read_ledger,
+    read_status,
+)
+from repro.obs.live import (
+    StatusServer,
+    render_prometheus,
+    render_top,
+)
 
 __all__ = [
     "DISABLED",
@@ -66,4 +91,17 @@ __all__ = [
     "record_rtc_cache_gauges",
     "rtc_cache_stats",
     "summarize_cache_gauges",
+    "SNAPSHOT_SCHEMA",
+    "LogHistogramSketch",
+    "MetricsSnapshot",
+    "LEDGER_SCHEMA",
+    "LedgerReplay",
+    "LedgerWriter",
+    "build_status",
+    "merged_snapshot",
+    "read_ledger",
+    "read_status",
+    "StatusServer",
+    "render_prometheus",
+    "render_top",
 ]

@@ -1,0 +1,257 @@
+"""Live status surfaces over the run ledger.
+
+Three read-only views of one :mod:`~repro.obs.ledger` status document:
+
+* :func:`render_top` — the ``repro top`` terminal rendering: progress
+  bar, ETA, verdict counts, fleet detection-latency percentiles and
+  per-worker throughput;
+* :func:`render_prometheus` — Prometheus-style text exposition of the
+  merged counters, gauges and sketch quantiles (``/metrics``);
+* :class:`StatusServer` — a stdlib :mod:`http.server` endpoint
+  (``/status`` JSON, ``/metrics`` text) that re-reads the ledger per
+  request, so it observes a run that is still appending.
+
+All three consume the ledger file only — they never touch the running
+process, so attaching them cannot perturb a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.ledger import read_status
+
+#: Width of the ``repro top`` progress bar, in cells.
+BAR_WIDTH = 36
+
+
+def _bar(fraction: Optional[float]) -> str:
+    if fraction is None:
+        return "[" + "?" * BAR_WIDTH + "]"
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * BAR_WIDTH))
+    return "[" + "#" * filled + "-" * (BAR_WIDTH - filled) + "]"
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _fmt(value: Optional[float], spec: str = ".2f") -> str:
+    return "?" if value is None else format(value, spec)
+
+
+def render_top(status: Dict[str, Any]) -> str:
+    """Terminal rendering of one ledger status document."""
+    progress = status["progress"]
+    lines: List[str] = []
+    state = "complete" if status["complete"] else "running"
+    lines.append(f"repro top — {status['path']}  ({state})")
+
+    campaign = status.get("campaign")
+    if campaign:
+        digest = campaign.get("digest")
+        lines.append(
+            f"  campaign seed={campaign.get('seed')} "
+            f"budget={campaign.get('budget')} "
+            f"scenarios={campaign.get('scenarios')} "
+            f"judged={campaign.get('judged')}"
+            + (f"  digest={digest[:16]}" if digest else "")
+        )
+
+    done = progress["finished"]
+    total = progress["tasks"]
+    pct = progress["done_fraction"]
+    lines.append(
+        f"  {_bar(pct)} {done}/{total if total is not None else '?'} tasks"
+        f"  ({_fmt(None if pct is None else 100 * pct, '.0f')}%)"
+        f"  elapsed {_fmt_s(progress['elapsed_s'])}"
+        f"  eta {_fmt_s(progress['eta_s'])}"
+    )
+    lines.append(
+        f"  submitted {progress['submitted']}  cache hits "
+        f"{progress['cache_hits']}  errors {progress['errors']}"
+    )
+
+    verdicts = status.get("verdicts") or {}
+    if verdicts:
+        rendered = "  ".join(
+            f"{name}={count}" for name, count in sorted(verdicts.items())
+        )
+        lines.append(f"  verdicts: {rendered}")
+
+    percentiles = status.get("percentiles") or {}
+    latency = percentiles.get("detect.latency_ms")
+    if latency and latency.get("count"):
+        lines.append(
+            f"  detect.latency_ms  n={latency['count']}"
+            f"  p50={_fmt(latency['p50'])}"
+            f"  p95={_fmt(latency['p95'])}"
+            f"  max={_fmt(latency['max'])}"
+        )
+    counters = status.get("counters") or {}
+    false_positives = counters.get("detect.false_positives")
+    if false_positives is not None:
+        lines.append(
+            f"  detections={counters.get('detect.reports', 0)}  "
+            f"false positives={false_positives}"
+        )
+
+    workers = status.get("workers") or {}
+    if workers:
+        lines.append("  workers:")
+        for pid in sorted(workers):
+            stat = workers[pid]
+            eps = stat.get("events_per_sec")
+            lines.append(
+                f"    pid {pid:>7}  {int(stat['tasks']):>4} tasks  "
+                f"{int(stat['events']):>9} events  "
+                f"{_fmt(eps, ',.0f')} events/s"
+            )
+
+    for warning in status.get("warnings") or []:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)
+
+
+# -- Prometheus-style exposition -------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def render_prometheus(status: Dict[str, Any]) -> str:
+    """Prometheus text exposition of the merged metric state."""
+    lines: List[str] = []
+    for name, value in (status.get("counters") or {}).items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, stat in (status.get("gauges") or {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        for suffix in ("min", "max"):
+            lines.append(f'{prom}{{stat="{suffix}"}} {stat[suffix]}')
+        if stat.get("n"):
+            lines.append(
+                f'{prom}{{stat="mean"}} {stat["sum"] / stat["n"]}'
+            )
+    for name, digest in (status.get("percentiles") or {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("1", "max")):
+            value = digest.get(key)
+            if value is not None:
+                lines.append(
+                    f'{prom}{{quantile="{quantile}"}} {value}'
+                )
+        lines.append(f"{prom}_count {digest.get('count', 0)}")
+    progress = status.get("progress") or {}
+    for key in ("submitted", "finished", "cache_hits", "errors"):
+        prom = _prom_name(f"tasks.{key}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {progress.get(key, 0)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- HTTP endpoint ----------------------------------------------------------
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    server: "StatusServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        try:
+            if self.path in ("/status", "/status.json"):
+                body = json.dumps(
+                    self.server.status(), indent=2, sort_keys=True
+                ).encode("utf-8")
+                content_type = "application/json"
+            elif self.path == "/metrics":
+                body = render_prometheus(self.server.status()).encode()
+                content_type = "text/plain; version=0.0.4"
+            elif self.path == "/":
+                body = (
+                    "repro status endpoint\n"
+                    "  /status  — ledger replay as JSON\n"
+                    "  /metrics — Prometheus text exposition\n"
+                ).encode("utf-8")
+                content_type = "text/plain"
+            else:
+                self.send_error(404, "unknown path")
+                return
+        except Exception as error:  # pragma: no cover - defensive
+            self.send_error(500, str(error))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:
+        pass  # a status probe must not spam the campaign's stdout
+
+
+class StatusServer:
+    """Read-only HTTP/JSON status endpoint over one ledger file.
+
+    ``port=0`` binds an ephemeral port (the bound port is ``.port``).
+    The server re-reads the ledger on every request, so it tracks a run
+    in progress; it never writes anything.
+    """
+
+    def __init__(self, ledger_path: Union[str, Path], port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.ledger_path = Path(ledger_path)
+        self._httpd = ThreadingHTTPServer((host, port), _StatusHandler)
+        self._httpd.status = self.status  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def status(self) -> Dict[str, Any]:
+        return read_status(self.ledger_path)
+
+    def start(self) -> "StatusServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-status",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"StatusServer({self.ledger_path}, port={self.port})"

@@ -71,6 +71,9 @@ REPORT_SCHEMA: Dict[str, Any] = {
         "mechanism": (str,),               # nullable: detecting mechanism
     },
     "metrics": dict,                       # MetricsRegistry.snapshot()
+    "zero_copy": dict,                     # COPY_STATS delta of this run
+                                           # (copies/copied_bytes/views),
+                                           # {} on legacy runs
 }
 
 
@@ -217,6 +220,7 @@ def build_run_report(
             registry.snapshot()
             if registry is not None and registry.enabled else {}
         ),
+        "zero_copy": getattr(run, "copy_stats", None) or {},
     }
 
 
@@ -339,6 +343,14 @@ def render_report(report: Dict[str, Any]) -> str:
             if bound is not None else
             f"  detected in {det['latency_ms']:.2f} ms at {det['site']} "
             f"({det['mechanism']})"
+        )
+    zero_copy = report.get("zero_copy") or {}
+    if zero_copy:
+        lines.append("")
+        lines.append(
+            f"Zero-copy: {zero_copy.get('views', 0)} view(s), "
+            f"{zero_copy.get('copies', 0)} payload copie(s) "
+            f"({zero_copy.get('copied_bytes', 0)} bytes materialised)"
         )
     from repro.obs.rtccache import summarize_cache_gauges
 

@@ -1,0 +1,332 @@
+"""Mergeable metric sketches: fleet-wide aggregation without raw series.
+
+Campaigns and sweeps execute thousands of tasks across worker
+processes; shipping every raw detection-latency sample back to the
+parent (and onto disk, and over the status endpoint) does not scale.
+This module provides the compact, *mergeable* summaries each worker
+attaches to its :class:`~repro.exec.results.TaskResult` instead —
+extending the ``COPY_STATS`` delta pattern from per-process counters to
+full metric state:
+
+* :class:`LogHistogramSketch` — a fixed-bin log-scale histogram.  Bin
+  boundaries are powers of a fixed :data:`GAMMA`, so two sketches built
+  independently (different workers, different runs) always share the
+  same bin grid and merge by adding counts.  Merging is associative and
+  commutative (integer bin counts; exact min/max), which makes
+  parent-side aggregation order-independent — the property the ledger
+  replay relies on.  Quantiles are answered to within one bin
+  (≤ ~9 % relative error at the default γ), with ``min``/``max`` exact.
+* :class:`MetricsSnapshot` — the named bundle of counters, gauge
+  statistics and sketches one task (or one whole fleet) is summarised
+  by.  ``merge`` folds another snapshot in; ``as_dict``/``from_dict``
+  round-trip through JSON for the run ledger.
+
+Nothing here touches simulator state: sketches are built *after* a run
+finishes, from the already-reduced result, so streaming cannot perturb
+the event order (golden-trace byte-identity holds with streaming on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+#: Schema tag embedded in serialised snapshots.
+SNAPSHOT_SCHEMA = "repro.metrics-snapshot/1"
+
+#: Fixed bin growth factor: γ = 2**(1/4) ≈ 1.189.  A value in bin ``k``
+#: lies in ``(γ**k, γ**(k+1)]``; the bin midpoint mis-states it by at
+#: most ``sqrt(γ) - 1`` ≈ 9 %.  Part of the sketch wire format — never
+#: change without bumping :data:`SNAPSHOT_SCHEMA`.
+GAMMA = 2.0 ** 0.25
+
+_LOG_GAMMA = math.log(GAMMA)
+
+#: Bin index clamp: indices outside [MIN_BIN, MAX_BIN] saturate into the
+#: edge bins, keeping the bin *universe* fixed and finite (≈ 1e-10 ms to
+#: 1e13 ms at the default γ — far beyond any latency this repo models).
+MIN_BIN = -192
+MAX_BIN = 256
+
+
+class LogHistogramSketch:
+    """Fixed-bin log-scale histogram with exact count/sum/min/max.
+
+    Non-positive observations land in a dedicated ``zero`` bin (the
+    log grid only covers positive values); quantiles treat them as 0.0.
+    Bins are stored sparsely — campaigns observe a few thousand
+    latencies spanning a handful of decades, so a dict of a few dozen
+    bins replaces the raw series.
+    """
+
+    __slots__ = ("bins", "zero", "count", "sum", "min", "max")
+
+    kind = "sketch"
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+        self.zero = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording ----------------------------------------------------------
+
+    @staticmethod
+    def bin_index(value: float) -> int:
+        """The fixed grid index of a positive value."""
+        index = math.floor(math.log(value) / _LOG_GAMMA)
+        return max(MIN_BIN, min(MAX_BIN, index))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero += 1
+            return
+        index = self.bin_index(value)
+        self.bins[index] = self.bins.get(index, 0) + 1
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "LogHistogramSketch") -> "LogHistogramSketch":
+        """Fold ``other`` into this sketch (returns ``self``).
+
+        Associative and commutative on everything a quantile reads
+        (integer bin counts, exact min/max); ``sum`` commutes up to
+        float rounding.
+        """
+        for index, count in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0) + count
+        self.zero += other.zero
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        return self
+
+    @classmethod
+    def merged(cls, sketches: Iterable["LogHistogramSketch"]
+               ) -> "LogHistogramSketch":
+        """A fresh sketch holding the union of ``sketches``."""
+        out = cls()
+        for sketch in sketches:
+            out.merge(sketch)
+        return out
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 ≤ q ≤ 1), ``None`` on an empty sketch.
+
+        Answered from the bin grid: the bin holding the target rank
+        reports its geometric midpoint, clamped to the exact observed
+        ``[min, max]`` (so ``quantile(0) == min``, ``quantile(1) ==
+        max`` exactly).
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        cumulative = self.zero
+        value: Optional[float] = 0.0 if self.zero else None
+        if cumulative <= rank or value is None:
+            for index in sorted(self.bins):
+                cumulative += self.bins[index]
+                if cumulative > rank:
+                    value = GAMMA ** (index + 0.5)
+                    break
+            else:  # pragma: no cover - rank always lands in some bin
+                value = self.max
+        assert value is not None
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard report digest: p50/p95/max (+ count/mean/min)."""
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "max": self.max,
+        }
+
+    # -- serialisation ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "bins": {str(index): count
+                     for index, count in sorted(self.bins.items())},
+            "zero": self.zero,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LogHistogramSketch":
+        sketch = cls()
+        sketch.bins = {int(index): int(count)
+                       for index, count in dict(data["bins"]).items()}
+        sketch.zero = int(data["zero"])
+        sketch.count = int(data["count"])
+        sketch.sum = float(data["sum"])
+        sketch.min = None if data["min"] is None else float(data["min"])
+        sketch.max = None if data["max"] is None else float(data["max"])
+        return sketch
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogHistogramSketch):
+            return NotImplemented
+        return (self.bins == other.bins and self.zero == other.zero
+                and self.count == other.count and self.min == other.min
+                and self.max == other.max)
+
+    def __repr__(self) -> str:
+        return (f"LogHistogramSketch(n={self.count}, "
+                f"bins={len(self.bins)})")
+
+
+class MetricsSnapshot:
+    """A named, mergeable bundle of counters, gauge stats and sketches.
+
+    * ``counters`` — integer totals; merge adds.
+    * ``gauges`` — ``{min, max, sum, n}`` statistics per name; merge
+      combines extrema and adds sum/n (mean derivable; deliberately no
+      "last" field — last-write-wins is not commutative).
+    * ``sketches`` — :class:`LogHistogramSketch` per name; merge merges.
+
+    Every operation is order-independent (up to float rounding in the
+    sums), so a fleet-wide snapshot is the same whichever order worker
+    results arrive in.
+    """
+
+    __slots__ = ("counters", "gauges", "sketches")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, Dict[str, float]] = {}
+        self.sketches: Dict[str, LogHistogramSketch] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def gauge_sample(self, name: str, value: float) -> None:
+        value = float(value)
+        stat = self.gauges.get(name)
+        if stat is None:
+            self.gauges[name] = {"min": value, "max": value,
+                                 "sum": value, "n": 1}
+        else:
+            stat["min"] = min(stat["min"], value)
+            stat["max"] = max(stat["max"], value)
+            stat["sum"] += value
+            stat["n"] += 1
+
+    def observe(self, name: str, value: float) -> None:
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = LogHistogramSketch()
+        sketch.observe(value)
+
+    def sketch(self, name: str) -> Optional[LogHistogramSketch]:
+        return self.sketches.get(name)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.sketches)
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold ``other`` in (returns ``self``)."""
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, stat in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = dict(stat)
+            else:
+                mine["min"] = min(mine["min"], stat["min"])
+                mine["max"] = max(mine["max"], stat["max"])
+                mine["sum"] += stat["sum"]
+                mine["n"] += stat["n"]
+        for name, sketch in other.sketches.items():
+            mine_sketch = self.sketches.get(name)
+            if mine_sketch is None:
+                self.sketches[name] = LogHistogramSketch.merged([sketch])
+            else:
+                mine_sketch.merge(sketch)
+        return self
+
+    # -- serialisation ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {name: dict(stat)
+                       for name, stat in sorted(self.gauges.items())},
+            "sketches": {name: sketch.as_dict()
+                         for name, sketch in sorted(self.sketches.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsSnapshot":
+        schema = data.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"snapshot schema is {schema!r}, expected "
+                f"{SNAPSHOT_SCHEMA!r}"
+            )
+        snapshot = cls()
+        snapshot.counters = {str(k): int(v)
+                             for k, v in dict(data["counters"]).items()}
+        snapshot.gauges = {
+            str(k): {"min": float(s["min"]), "max": float(s["max"]),
+                     "sum": float(s["sum"]), "n": int(s["n"])}
+            for k, s in dict(data["gauges"]).items()
+        }
+        snapshot.sketches = {
+            str(k): LogHistogramSketch.from_dict(v)
+            for k, v in dict(data["sketches"]).items()
+        }
+        return snapshot
+
+    def percentile_digests(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """p50/p95/max digest per sketch (the status-surface payload)."""
+        return {name: sketch.percentiles()
+                for name, sketch in sorted(self.sketches.items())}
+
+    def __repr__(self) -> str:
+        return (f"MetricsSnapshot({len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges, "
+                f"{len(self.sketches)} sketches)")

@@ -35,7 +35,12 @@ def specs(app):
 
 def _strip(result):
     data = dataclasses.asdict(result)
-    data.pop("wall_time_s")  # the only field allowed to differ
+    # Observability-only fields: wall clock, worker identity and the
+    # wall-time-derived metrics snapshot legitimately differ between
+    # serial / pooled executions of the same spec.
+    data.pop("wall_time_s")
+    data.pop("worker")
+    data.pop("metrics")
     return data
 
 
@@ -207,3 +212,106 @@ class TestCopyStatsMerge:
         assert COPY_STATS.delta(before) == {
             "copies": 3, "copied_bytes": 30, "views": 2
         }
+
+
+class TestStreaming:
+    """The run-ledger + mergeable-snapshot streaming path."""
+
+    def test_results_carry_metrics_and_worker(self, specs):
+        from repro.obs.sketch import MetricsSnapshot
+
+        for result in run_sweep(specs):
+            assert result.worker and result.worker["pid"] > 0
+            snap = MetricsSnapshot.from_dict(result.metrics)
+            assert snap.counters["tasks.total"] == 1
+            assert snap.counters["tasks.ok"] == 1
+            assert snap.counters["sim.events"] > 0
+            assert snap.sketches["task.wall_ms"].count == 1
+
+    def test_fault_tasks_observe_detection_latency(self, specs):
+        from repro.obs.sketch import MetricsSnapshot
+
+        results = run_sweep(specs)
+        for spec, result in zip(specs, results):
+            snap = MetricsSnapshot.from_dict(result.metrics)
+            latency = snap.sketch("detect.latency_ms")
+            if spec.fault is not None:
+                assert latency is not None and latency.count == 1
+                assert latency.min == pytest.approx(
+                    result.detection_latency()
+                )
+            else:
+                assert latency is None
+
+    def test_fleet_aggregate_order_independent(self, specs):
+        # The parent-side merge folds results in completion order, which
+        # the pool does not determinise — but every deterministic part
+        # of the aggregate must come out identical serial vs pooled.
+        serial = SweepExecutor(jobs=1)
+        pooled = SweepExecutor(jobs=2)
+        serial.run(specs)
+        pooled.run(specs)
+        assert serial.metrics.counters == pooled.metrics.counters
+        assert (serial.metrics.sketches["detect.latency_ms"]
+                == pooled.metrics.sketches["detect.latency_ms"])
+        s_digest = serial.metrics.percentile_digests()["detect.latency_ms"]
+        p_digest = pooled.metrics.percentile_digests()["detect.latency_ms"]
+        for key in ("count", "min", "p50", "p95", "max"):
+            assert s_digest[key] == p_digest[key]
+
+    def test_ledger_streams_submissions_and_completions(
+        self, specs, tmp_path
+    ):
+        from repro.obs.ledger import (
+            LedgerWriter,
+            merged_snapshot,
+            read_ledger,
+        )
+
+        executor = SweepExecutor(jobs=2)
+        with LedgerWriter(tmp_path / "run.ledger") as ledger:
+            executor.ledger = ledger
+            executor.run(specs)
+        replay = read_ledger(tmp_path / "run.ledger")
+        assert replay.ok, replay.warnings
+        assert len(replay.by_type("sweep-start")) == 1
+        assert len(replay.by_type("task-submitted")) == len(specs)
+        assert len(replay.by_type("task-finished")) == len(specs)
+        assert replay.by_type("sweep-end")[0]["stats"]["tasks"] == len(specs)
+        # The ledger replay reconstructs the executor's fleet aggregate.
+        merged = merged_snapshot(replay)
+        assert merged.counters == executor.metrics.counters
+        assert merged.sketches == executor.metrics.sketches
+
+    def test_cache_hits_stream_flagged_records(self, specs, tmp_path):
+        from repro.obs.ledger import (
+            LedgerWriter,
+            merged_snapshot,
+            read_ledger,
+        )
+
+        SweepExecutor(cache=ResultCache(tmp_path / "cache")).run(specs)
+        with LedgerWriter(tmp_path / "run.ledger") as ledger:
+            executor = SweepExecutor(
+                cache=ResultCache(tmp_path / "cache"), ledger=ledger
+            )
+            executor.run(specs)
+        replay = read_ledger(tmp_path / "run.ledger")
+        finished = replay.by_type("task-finished")
+        assert len(finished) == len(specs)
+        assert all(record["cache_hit"] for record in finished)
+        assert all(record["digest"] for record
+                   in replay.by_type("task-submitted"))
+        # Cached results still carry their original snapshots, so the
+        # replayed aggregate survives a fully-cached re-run.
+        merged = merged_snapshot(replay)
+        assert merged.counters["tasks.total"] == len(specs)
+        assert merged.sketches["detect.latency_ms"].count == 3
+
+    def test_streaming_does_not_change_results(self, specs, tmp_path):
+        from repro.obs.ledger import LedgerWriter
+
+        plain = run_sweep(specs)
+        with LedgerWriter(tmp_path / "run.ledger") as ledger:
+            streamed = run_sweep(specs, ledger=ledger)
+        assert [_strip(r) for r in plain] == [_strip(r) for r in streamed]

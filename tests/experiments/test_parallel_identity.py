@@ -119,7 +119,12 @@ class TestSolverContextIdentity:
             payload = []
             for result in results:
                 entry = dataclasses.asdict(result)
-                entry.pop("wall_time_s")  # wall clock: not deterministic
+                # Wall clock, worker identity and the wall-time-derived
+                # metrics snapshot are observability-only: not
+                # deterministic across serial/pooled executions.
+                entry.pop("wall_time_s")
+                entry.pop("worker")
+                entry.pop("metrics")
                 payload.append(entry)
             return json.dumps(payload, sort_keys=True, default=str)
 

@@ -190,6 +190,39 @@ def test_all_engine_modes_match_goldens(name, engine_kwargs):
     )
 
 
+@pytest.mark.parametrize("engine_kwargs", _engine_mode_params())
+@pytest.mark.parametrize("name", sorted(_scenarios()))
+def test_streaming_telemetry_matches_goldens(name, engine_kwargs,
+                                             tmp_path):
+    """Full telemetry + the streaming observability stack, across every
+    engine configuration: an enabled registry/timeline, a live run
+    ledger appending records around the run, and the mergeable snapshot
+    built from the run's reduced outputs must leave the event stream
+    byte-identical to the seed engine."""
+    from repro.obs import LedgerWriter, Observability, read_ledger
+    from repro.obs.sketch import MetricsSnapshot
+
+    golden_path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    with open(golden_path, "rb") as handle:
+        golden = handle.read()
+    obs = Observability()
+    with LedgerWriter(tmp_path / "run.ledger") as ledger:
+        ledger.sweep_start(1, jobs=1)
+        ledger.task_submitted(0, "duplicated")
+        trace = _trace_bytes(_scenarios()[name], obs=obs, **engine_kwargs)
+        snap = MetricsSnapshot()
+        snap.count("sim.events")
+        snap.observe("detect.latency_ms", 1.0)
+        ledger.emit("task-finished", task=0, ok=True, cache_hit=False,
+                    metrics=snap.as_dict())
+        ledger.sweep_end({"tasks": 1})
+    assert trace == golden, (
+        f"scenario {name}: streaming telemetry perturbed the event "
+        f"stream under engine configuration {engine_kwargs}"
+    )
+    assert read_ledger(tmp_path / "run.ledger").ok
+
+
 def _capture() -> None:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for name, builder in sorted(_scenarios().items()):

@@ -1,0 +1,170 @@
+"""Unit tests for the mergeable metric sketches.
+
+The Hypothesis merge-algebra properties (associativity, commutativity)
+live in ``tests/properties/test_sketch_properties.py``; this file pins
+the concrete contract: bin grid, quantile clamping, zero handling,
+serialisation round-trips and the snapshot bundle semantics.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.sketch import (
+    GAMMA,
+    MAX_BIN,
+    MIN_BIN,
+    SNAPSHOT_SCHEMA,
+    LogHistogramSketch,
+    MetricsSnapshot,
+)
+
+
+class TestLogHistogramSketch:
+    def test_empty_sketch(self):
+        sketch = LogHistogramSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) is None
+        assert sketch.mean is None
+        assert sketch.percentiles()["p95"] is None
+
+    def test_exact_count_sum_min_max(self):
+        values = [3.0, 0.4, 120.0, 7.5, 0.4]
+        sketch = LogHistogramSketch()
+        for value in values:
+            sketch.observe(value)
+        assert sketch.count == len(values)
+        assert sketch.sum == pytest.approx(sum(values))
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+
+    def test_quantile_endpoints_are_exact(self):
+        sketch = LogHistogramSketch()
+        for value in (1.7, 42.0, 0.03, 9.9):
+            sketch.observe(value)
+        assert sketch.quantile(0.0) == 0.03
+        assert sketch.quantile(1.0) == 42.0
+
+    def test_quantile_within_one_bin(self):
+        # The bin midpoint mis-states a value by at most sqrt(γ) - 1.
+        values = sorted(1.5 ** k for k in range(20))
+        sketch = LogHistogramSketch()
+        for value in values:
+            sketch.observe(value)
+        exact_median = values[(len(values) - 1) // 2]
+        approx = sketch.quantile(0.5)
+        assert approx == pytest.approx(
+            exact_median, rel=math.sqrt(GAMMA) - 1 + 1e-9
+        )
+
+    def test_single_observation_all_quantiles(self):
+        sketch = LogHistogramSketch()
+        sketch.observe(12.5)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert sketch.quantile(q) == 12.5
+
+    def test_non_positive_values_use_zero_bin(self):
+        sketch = LogHistogramSketch()
+        sketch.observe(0.0)
+        sketch.observe(-3.0)
+        sketch.observe(5.0)
+        assert sketch.zero == 2
+        assert sketch.count == 3
+        assert sketch.min == -3.0
+        assert sketch.quantile(0.0) == -3.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_bin_index_clamps_to_fixed_universe(self):
+        assert LogHistogramSketch.bin_index(1e-300) == MIN_BIN
+        assert LogHistogramSketch.bin_index(1e300) == MAX_BIN
+
+    def test_quantile_rejects_out_of_range(self):
+        sketch = LogHistogramSketch()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_merge_equals_union(self):
+        left, right, union = (LogHistogramSketch() for _ in range(3))
+        for value in (0.5, 3.0, 3.1):
+            left.observe(value)
+            union.observe(value)
+        for value in (80.0, 0.0):
+            right.observe(value)
+            union.observe(value)
+        merged = LogHistogramSketch.merged([left, right])
+        assert merged == union
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert merged.quantile(q) == union.quantile(q)
+
+    def test_dict_roundtrip_through_json(self):
+        sketch = LogHistogramSketch()
+        for value in (0.0, 0.2, 5.0, 5.0, 1234.5):
+            sketch.observe(value)
+        payload = json.loads(json.dumps(sketch.as_dict()))
+        back = LogHistogramSketch.from_dict(payload)
+        assert back == sketch
+        assert back.sum == pytest.approx(sketch.sum)
+        assert back.quantile(0.95) == sketch.quantile(0.95)
+
+
+class TestMetricsSnapshot:
+    def test_empty_flag(self):
+        snap = MetricsSnapshot()
+        assert snap.empty
+        snap.count("x")
+        assert not snap.empty
+
+    def test_counters_add_on_merge(self):
+        a, b = MetricsSnapshot(), MetricsSnapshot()
+        a.count("tasks", 2)
+        b.count("tasks", 3)
+        b.count("errors")
+        a.merge(b)
+        assert a.counters == {"tasks": 5, "errors": 1}
+
+    def test_gauges_track_min_max_mean(self):
+        snap = MetricsSnapshot()
+        for value in (10.0, 30.0, 20.0):
+            snap.gauge_sample("eps", value)
+        stat = snap.gauges["eps"]
+        assert stat["min"] == 10.0
+        assert stat["max"] == 30.0
+        assert stat["sum"] / stat["n"] == pytest.approx(20.0)
+
+    def test_merge_does_not_alias_other(self):
+        a, b = MetricsSnapshot(), MetricsSnapshot()
+        b.gauge_sample("g", 1.0)
+        b.observe("lat", 2.0)
+        a.merge(b)
+        a.gauge_sample("g", 99.0)
+        a.observe("lat", 99.0)
+        assert b.gauges["g"]["max"] == 1.0
+        assert b.sketches["lat"].count == 1
+
+    def test_dict_roundtrip(self):
+        snap = MetricsSnapshot()
+        snap.count("sim.events", 420)
+        snap.gauge_sample("eps", 100.0)
+        snap.observe("detect.latency_ms", 12.5)
+        payload = json.loads(json.dumps(snap.as_dict()))
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        back = MetricsSnapshot.from_dict(payload)
+        assert back.counters == snap.counters
+        assert back.gauges == snap.gauges
+        assert back.sketches == snap.sketches
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_dict({"schema": "bogus/9", "counters": {},
+                                       "gauges": {}, "sketches": {}})
+
+    def test_percentile_digests(self):
+        snap = MetricsSnapshot()
+        for value in (5.0, 10.0, 20.0):
+            snap.observe("detect.latency_ms", value)
+        digest = snap.percentile_digests()["detect.latency_ms"]
+        assert digest["count"] == 3
+        assert digest["min"] == 5.0
+        assert digest["max"] == 20.0

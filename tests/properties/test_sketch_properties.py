@@ -1,0 +1,114 @@
+"""Merge-algebra properties of the metric sketches.
+
+The parent-side fleet aggregation folds worker snapshots in whatever
+order the pool completes them, and a ledger replay folds them in record
+order — the two must agree.  That holds iff sketch merging is
+associative and commutative on everything a quantile reads: integer bin
+counts, the zero bin, the total count, and the exact min/max.  The
+float ``sum`` only commutes up to rounding, so it is compared
+approximately and everything else exactly.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.sketch import LogHistogramSketch, MetricsSnapshot
+
+#: Latency-like observations: non-negative, spanning many decades, with
+#: zeros (and tiny negatives via the zero bin) included deliberately.
+observations = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-6, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=40,
+)
+
+
+def _sketch(values):
+    sketch = LogHistogramSketch()
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+def _assert_equivalent(a: LogHistogramSketch, b: LogHistogramSketch):
+    # Exact on everything quantiles read …
+    assert a == b  # bins, zero, count, min, max
+    for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+        assert a.quantile(q) == b.quantile(q)
+    # … approximate only on the float sum.
+    assert a.sum == pytest.approx(b.sum, rel=1e-9, abs=1e-9)
+
+
+class TestSketchMergeAlgebra:
+    @given(observations, observations)
+    def test_merge_commutative(self, xs, ys):
+        ab = LogHistogramSketch.merged([_sketch(xs), _sketch(ys)])
+        ba = LogHistogramSketch.merged([_sketch(ys), _sketch(xs)])
+        _assert_equivalent(ab, ba)
+
+    @given(observations, observations, observations)
+    def test_merge_associative(self, xs, ys, zs):
+        left = _sketch(xs).merge(_sketch(ys)).merge(_sketch(zs))
+        right = _sketch(xs).merge(_sketch(ys).merge(_sketch(zs)))
+        _assert_equivalent(left, right)
+
+    @given(observations, observations)
+    def test_merge_equals_pooled_observation(self, xs, ys):
+        # Merging two sketches is indistinguishable from having observed
+        # the union in one sketch — the distributed = centralised law.
+        merged = LogHistogramSketch.merged([_sketch(xs), _sketch(ys)])
+        pooled = _sketch(xs + ys)
+        _assert_equivalent(merged, pooled)
+
+    @given(observations)
+    def test_identity_element(self, xs):
+        merged = LogHistogramSketch.merged(
+            [_sketch(xs), LogHistogramSketch()]
+        )
+        _assert_equivalent(merged, _sketch(xs))
+
+    @given(observations)
+    def test_serialisation_respects_merge(self, xs):
+        # A sketch that travelled through its wire format merges the
+        # same as the original (the worker->parent->ledger path).
+        original = _sketch(xs)
+        travelled = LogHistogramSketch.from_dict(original.as_dict())
+        _assert_equivalent(
+            LogHistogramSketch.merged([travelled]),
+            LogHistogramSketch.merged([original]),
+        )
+
+
+def _snapshot(values, tag):
+    snap = MetricsSnapshot()
+    for value in values:
+        snap.count("tasks")
+        snap.count(f"kind.{tag}")
+        snap.gauge_sample("eps", value + 1.0)
+        snap.observe("lat", value)
+    return snap
+
+
+class TestSnapshotMergeAlgebra:
+    @given(observations, observations)
+    def test_snapshot_merge_commutative(self, xs, ys):
+        ab = MetricsSnapshot().merge(_snapshot(xs, "a")).merge(
+            _snapshot(ys, "b")
+        )
+        ba = MetricsSnapshot().merge(_snapshot(ys, "b")).merge(
+            _snapshot(xs, "a")
+        )
+        assert ab.counters == ba.counters
+        assert set(ab.gauges) == set(ba.gauges)
+        for name in ab.gauges:
+            assert ab.gauges[name]["min"] == ba.gauges[name]["min"]
+            assert ab.gauges[name]["max"] == ba.gauges[name]["max"]
+            assert ab.gauges[name]["n"] == ba.gauges[name]["n"]
+            assert ab.gauges[name]["sum"] == pytest.approx(
+                ba.gauges[name]["sum"]
+            )
+        assert ab.sketches == ba.sketches

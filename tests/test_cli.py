@@ -252,6 +252,9 @@ class TestBenchCommand:
             return {"a": {"mean": 1e-3, "min": 1e-3, "rounds": 5}}
 
         monkeypatch.setattr(bc, "run_benchmarks", fake)
+        # The interleaved overhead gate times real sweeps — pin it so
+        # CLI plumbing tests stay fast and immune to host load.
+        monkeypatch.setattr(bc, "measure_obs_overhead", lambda: 0.0)
         return calls
 
     def test_bench_records_run_with_fingerprint(
@@ -291,3 +294,59 @@ class TestBenchCommand:
                      "--profile", "--dry-run"])
         assert code == 0
         assert calls["profile_dir"] == tmp_path / "benchmarks" / "profiles"
+
+
+class TestStreamingCli:
+    def _run_streamed_campaign(self, tmp_path):
+        ledger = tmp_path / "campaign.ledger"
+        code = main(["campaign", "--budget", "2", "--seed", "7",
+                     "--no-cache", "--no-self-tests", "--no-shrink",
+                     "--ledger", str(ledger)])
+        return code, ledger
+
+    def test_campaign_ledger_flag_streams_run(self, tmp_path, capsys):
+        from repro.obs import read_ledger
+
+        code, ledger = self._run_streamed_campaign(tmp_path)
+        assert code == 0
+        assert "streaming run ledger" in capsys.readouterr().out
+        replay = read_ledger(ledger)
+        assert replay.ok, replay.warnings
+        assert replay.by_type("campaign-end")
+
+    def test_top_renders_completed_ledger(self, tmp_path, capsys):
+        import json
+
+        _code, ledger = self._run_streamed_campaign(tmp_path)
+        capsys.readouterr()
+        status_path = tmp_path / "status.json"
+        assert main(["top", str(ledger), "--json", str(status_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "(complete)" in out
+        status = json.loads(status_path.read_text())
+        assert status["complete"] is True
+        assert status["progress"]["finished"] == 4  # 2 scenarios x 2 runs
+
+    def test_status_port_requires_ledger(self, tmp_path, capsys):
+        code = main(["campaign", "--budget", "1", "--no-cache",
+                     "--no-self-tests", "--no-shrink",
+                     "--status-port", "0"])
+        assert code == 2
+        assert "--status-port requires --ledger" in (
+            capsys.readouterr().err
+        )
+
+    def test_campaign_status_port_serves_during_run(
+        self, tmp_path, capsys
+    ):
+        # --status-port 0 binds an ephemeral port; the endpoint address
+        # is printed before the campaign body runs.
+        ledger = tmp_path / "campaign.ledger"
+        code = main(["campaign", "--budget", "1", "--seed", "7",
+                     "--no-cache", "--no-self-tests", "--no-shrink",
+                     "--ledger", str(ledger), "--status-port", "0"])
+        assert code == 0
+        assert "status endpoint: http://127.0.0.1:" in (
+            capsys.readouterr().out
+        )
