@@ -162,6 +162,36 @@ def test_sweep_throughput_jobs2(benchmark):
     assert all(r.ok for r in results)
 
 
+def test_sweep_throughput_multibatch(benchmark):
+    """Three consecutive sweep batches over a 50 %-duplicate scenario
+    matrix (jobs=2) through one persistent executor.
+
+    The campaign / DSE pattern: each round forks the warm pool once,
+    then runs three batches whose specs are half duplicates — digest
+    dedup executes each unique spec once per batch and the pool (plus
+    the per-worker warm solver state and the adaptive chunker's latency
+    estimate) carries across batches.  The recorded trajectory delta vs
+    the pre-persistent-pool executor is asserted by the interleaved
+    ``measure_sweep_gain`` gate in ``repro bench`` / bench_compare
+    (structural >= 2x on a 50 %-duplicate matrix; CI floor softer).
+    """
+    from repro.exec import SweepExecutor
+    from repro.tools.bench_compare import sweep_gain_specs
+
+    specs = sweep_gain_specs()
+
+    def multibatch():
+        with SweepExecutor(jobs=2) as executor:
+            results = None
+            for _ in range(3):
+                results = executor.run(specs)
+        return results
+
+    results = benchmark.pedantic(multibatch, rounds=5, iterations=1,
+                                 warmup_rounds=1)
+    assert all(r.ok for r in results)
+
+
 def _stream_pair_specs():
     """The workload shared by the streaming-overhead benchmark pair.
 

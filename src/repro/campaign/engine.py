@@ -158,12 +158,13 @@ def run_scenario(
     scenario: Scenario,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[TaskResult, TaskResult]:
     """Execute one scenario's (reference, duplicated) pair."""
     reference_spec, duplicated_spec = scenario.specs()
-    results = SweepExecutor(jobs=jobs, cache=cache).run(
-        [reference_spec, duplicated_spec]
-    )
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache=cache, persistent=False)
+    results = executor.run([reference_spec, duplicated_spec])
     return results[0], results[1]
 
 
@@ -218,49 +219,59 @@ def run_campaign(
     specs = []
     for scenario in scenarios:
         specs.extend(scenario.specs())
+    # One persistent executor carries the whole campaign: the main batch
+    # AND every shrink candidate reuse the same warm worker pool and
+    # per-task latency estimate instead of forking per call.
     executor = SweepExecutor(jobs=config.jobs, cache=config.cache,
                              ledger=ledger)
-    results = executor.run(specs)
+    try:
+        results = executor.run(specs)
 
-    outcome_list: List[ScenarioOutcome] = []
-    for position, scenario in enumerate(scenarios):
-        reference = results[2 * position]
-        duplicated = results[2 * position + 1]
-        outcome = evaluate_scenario(scenario, reference, duplicated,
-                                    oracles)
-        outcome_list.append(outcome)
-        if ledger is not None:
-            ledger.scenario_verdict(
-                index=scenario.index,
-                digest=outcome.digest,
-                label=scenario.label(),
-                verdict=outcome.verdict,
-                violations=[v.as_dict() for v in outcome.violations],
-            )
-        if not outcome.passed:
-            say(f"FAIL {scenario.label()}: {outcome.verdict} "
-                + "; ".join(v.message for v in outcome.violations))
+        outcome_list: List[ScenarioOutcome] = []
+        for position, scenario in enumerate(scenarios):
+            reference = results[2 * position]
+            duplicated = results[2 * position + 1]
+            outcome = evaluate_scenario(scenario, reference, duplicated,
+                                        oracles)
+            outcome_list.append(outcome)
+            if ledger is not None:
+                ledger.scenario_verdict(
+                    index=scenario.index,
+                    digest=outcome.digest,
+                    label=scenario.label(),
+                    verdict=outcome.verdict,
+                    violations=[v.as_dict() for v in outcome.violations],
+                )
+            if not outcome.passed:
+                say(f"FAIL {scenario.label()}: {outcome.verdict} "
+                    + "; ".join(v.message for v in outcome.violations))
 
-    result = CampaignResult(
-        seed=config.seed,
-        budget=config.budget,
-        oracle_names=tuple(o.name for o in oracles),
-        outcomes=outcome_list,
-        stats=executor.stats,
-        metrics=executor.metrics,
-    )
+        result = CampaignResult(
+            seed=config.seed,
+            budget=config.budget,
+            oracle_names=tuple(o.name for o in oracles),
+            outcomes=outcome_list,
+            stats=executor.stats,
+            metrics=executor.metrics,
+        )
 
-    if config.shrink:
-        violated = [o for o in result.outcomes if o.violations]
-        for outcome in violated:
-            say(f"shrinking {outcome.scenario.label()} ...")
-            result.shrunk[outcome.digest] = shrink_scenario(
-                outcome.scenario,
-                oracles=oracles,
-                jobs=config.jobs,
-                cache=config.cache,
-                max_runs=config.max_shrink_runs,
-            )
+        if config.shrink:
+            # Shrink runs are exploratory — keep them out of the ledger
+            # so its task records describe exactly the main batch.
+            executor.ledger = None
+            violated = [o for o in result.outcomes if o.violations]
+            for outcome in violated:
+                say(f"shrinking {outcome.scenario.label()} ...")
+                result.shrunk[outcome.digest] = shrink_scenario(
+                    outcome.scenario,
+                    oracles=oracles,
+                    jobs=config.jobs,
+                    cache=config.cache,
+                    max_runs=config.max_shrink_runs,
+                    executor=executor,
+                )
+    finally:
+        executor.close()
 
     if ledger is not None:
         ledger.campaign_end(

@@ -224,7 +224,8 @@ def replay_reproducer(
     the recorded violation reproduced.
     """
     reference_spec, duplicated_spec = reproducer.scenario.specs()
-    results = SweepExecutor(jobs=jobs, cache=cache).run(
+    results = SweepExecutor(jobs=jobs, cache=cache,
+                            persistent=False).run(
         [reference_spec, duplicated_spec]
     )
     return evaluate_scenario(

@@ -60,12 +60,13 @@ def _judge(
     oracles: Sequence[Oracle],
     jobs: int,
     cache: Optional[ResultCache],
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[Violation, ...]:
     """Execute one scenario and return its oracle violations."""
     reference_spec, duplicated_spec = scenario.specs()
-    results = SweepExecutor(jobs=jobs, cache=cache).run(
-        [reference_spec, duplicated_spec]
-    )
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache=cache, persistent=False)
+    results = executor.run([reference_spec, duplicated_spec])
     ctx = OutcomeContext(
         scenario=scenario,
         sizing=scenario.applied_sizing(scenario.build_app()),
@@ -142,16 +143,20 @@ def shrink_scenario(
     cache: Optional[ResultCache] = None,
     max_runs: int = 48,
     known_violations: Optional[Sequence[Violation]] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> ShrinkResult:
     """Shrink a violated scenario to a minimal reproducer.
 
     ``known_violations`` (e.g. from the campaign's own evaluation) skips
     the baseline re-execution.  If the scenario turns out not to violate
     anything, the result is the scenario itself with zero target oracles.
+    Pass ``executor`` to judge candidates on an existing (typically
+    persistent, warm) executor instead of a fresh pool per candidate —
+    the campaign engine shares its batch executor this way.
     """
     runs = 0
     if known_violations is None:
-        baseline = _judge(scenario, oracles, jobs, cache)
+        baseline = _judge(scenario, oracles, jobs, cache, executor)
         runs += 1
     else:
         baseline = tuple(known_violations)
@@ -171,7 +176,7 @@ def shrink_scenario(
         for candidate in _candidates(current, period):
             if runs >= max_runs:
                 break
-            violations = _judge(candidate, oracles, jobs, cache)
+            violations = _judge(candidate, oracles, jobs, cache, executor)
             runs += 1
             if target & {v.oracle for v in violations}:
                 current = candidate

@@ -461,6 +461,30 @@ def _cmd_top(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(root=args.dir)
+    size = cache.size_stats()
+    mb = size["bytes"] / (1024 * 1024)
+    if args.cache_command == "stats":
+        print(f"cache {cache.root}: {size['entries']} entries, "
+              f"{mb:.2f} MiB")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.root}: removed {removed} entries")
+        return 0
+    # prune
+    max_bytes = int(args.max_mb * 1024 * 1024)
+    pruned = cache.prune(max_bytes)
+    print(f"cache {cache.root}: removed {pruned['removed']} of "
+          f"{size['entries']} entries "
+          f"({mb:.2f} -> {pruned['bytes'] / (1024 * 1024):.2f} MiB, "
+          f"limit {args.max_mb:.0f} MiB)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -468,14 +492,17 @@ def _cmd_bench(args) -> int:
         BenchCompareError,
         OBS_OVERHEAD_PCT,
         RESULTS_FILENAME,
+        SWEEP_GAIN_MIN,
         _utc_now,
         format_report,
         load_db,
         machine_fingerprint,
         measure_obs_overhead,
+        measure_sweep_gain,
         obs_overhead_check,
         run_benchmarks,
         save_db,
+        sweep_gain_check,
     )
 
     if args.repo_root is not None:
@@ -514,6 +541,15 @@ def _cmd_bench(args) -> int:
     obs_failure = obs_overhead_check(overhead)
     if obs_failure:
         print(f"\nFAIL: {obs_failure}", file=sys.stderr)
+        return 1
+    # Likewise interleaved: multi-batch sweep gain of the persistent
+    # dedup executor over the legacy per-batch configuration.
+    gain = measure_sweep_gain()
+    print(f"multi-batch sweep gain (interleaved): {gain:.2f}x "
+          f"(floor {SWEEP_GAIN_MIN:.2f}x)")
+    gain_failure = sweep_gain_check(gain)
+    if gain_failure:
+        print(f"\nFAIL: {gain_failure}", file=sys.stderr)
         return 1
     if profile_dir is not None:
         dumps = sorted(profile_dir.glob("profile-*.prof"))
@@ -677,6 +713,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="serve the status document over HTTP instead "
                           "of rendering (0 = ephemeral port)")
     top.set_defaults(func=_cmd_top)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or trim the on-disk sweep result cache",
+    )
+    cache.add_argument("--dir", default=None, metavar="DIR",
+                       help="cache directory (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats",
+                         help="entry count and on-disk footprint")
+    cache_sub.add_parser("clear", help="delete every cached result")
+    prune = cache_sub.add_parser(
+        "prune",
+        help="evict oldest entries until the cache fits a size budget",
+    )
+    prune.add_argument("--max-mb", type=float, required=True, metavar="MB",
+                       help="target maximum cache size in MiB")
+    cache.set_defaults(func=_cmd_cache)
 
     bench = sub.add_parser(
         "bench",

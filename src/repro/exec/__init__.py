@@ -14,9 +14,16 @@ from repro.exec.cache import (
     ResultCache,
 )
 from repro.exec.executor import (
+    TARGET_CHUNK_S,
     SweepExecutor,
     SweepStats,
     run_sweep,
+)
+from repro.exec.pool import (
+    PoolCrashError,
+    WorkerPool,
+    fork_available,
+    warm_parent,
 )
 from repro.exec.results import (
     DetectionRecord,
@@ -38,7 +45,12 @@ from repro.exec.taskspec import (
     spec_from_jsonable,
     spec_to_jsonable,
 )
-from repro.exec.worker import execute_task, run_chunk
+from repro.exec.worker import (
+    execute_task,
+    presolve_chunk,
+    run_chunk,
+    worker_solver_context,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -49,16 +61,21 @@ __all__ = [
     "KIND_DUPLICATED",
     "KIND_REFERENCE",
     "MonitorRecord",
+    "PoolCrashError",
     "ResultCache",
     "SweepExecutor",
     "SweepStats",
     "SyntheticAppSpec",
+    "TARGET_CHUNK_S",
     "TASK_SCHEMA_VERSION",
     "TaskResult",
     "TaskSpec",
     "TaskSpecError",
+    "WorkerPool",
     "build_app",
     "execute_task",
+    "fork_available",
+    "presolve_chunk",
     "presolve_sizings",
     "hash_values",
     "run_chunk",
@@ -66,4 +83,6 @@ __all__ = [
     "snapshot_for_result",
     "spec_from_jsonable",
     "spec_to_jsonable",
+    "warm_parent",
+    "worker_solver_context",
 ]

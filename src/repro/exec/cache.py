@@ -30,7 +30,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.exec.results import TaskResult
 
@@ -96,6 +96,24 @@ class ResultCache:
         self.hits += 1
         return payload["result"]
 
+    def get_many(
+        self, digests: Iterable[str]
+    ) -> Dict[str, TaskResult]:
+        """Bulk lookup: ``{digest: result}`` for every digest that hits.
+
+        The executor consults the cache once per batch with the full
+        set of unique pending digests; misses are simply absent from
+        the returned mapping.  Duplicate digests in the input cost one
+        lookup (and count one hit/miss) each time they appear — pass
+        unique digests for exact counters.
+        """
+        found: Dict[str, TaskResult] = {}
+        for digest in digests:
+            result = self.get(digest)
+            if result is not None:
+                found[digest] = result
+        return found
+
     def put(self, digest: str, result: TaskResult) -> None:
         """Store ``result`` under ``digest`` (atomic replace)."""
         path = self._path(digest)
@@ -135,6 +153,81 @@ class ResultCache:
             "stores": self.stores,
             "invalidated": self.invalidated,
         }
+
+    # -- size accounting ---------------------------------------------------
+
+    def _entries(self):
+        """All entry files as ``(mtime, size, path)``, oldest first.
+
+        In-flight temp files are skipped (they are renamed or unlinked
+        by their writer); files that vanish mid-scan (a concurrent
+        prune) are skipped too.
+        """
+        entries = []
+        if not self.root.is_dir():
+            return entries
+        for path in self.root.glob("*/*.pkl"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda entry: (entry[0], str(entry[2])))
+        return entries
+
+    def size_stats(self) -> Dict[str, int]:
+        """On-disk footprint: entry count and total bytes."""
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for _, _, path in self._entries():
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+        self._sweep_empty_shards()
+        return removed
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict oldest-first until the cache fits in ``max_bytes``.
+
+        Eviction order is modification time (a store refreshes its
+        entry's mtime via the atomic replace, so recently re-stored
+        results survive).  Returns ``{"removed": n, "bytes": remaining}``.
+        """
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._sweep_empty_shards()
+        return {"removed": removed, "bytes": total}
+
+    def _sweep_empty_shards(self) -> None:
+        if not self.root.is_dir():
+            return
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
 
     def __repr__(self) -> str:
         return (

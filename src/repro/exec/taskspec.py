@@ -233,6 +233,29 @@ class TaskSpec:
             parts.append("monitor")
         return " ".join(parts)
 
+    def sizing_group(self) -> str:
+        """Digest of the sizing *problem* this spec poses (hex SHA-256
+        prefix).
+
+        Two specs with equal sizing groups feed identical interface
+        models to the Section 3.4 solver, so a warm
+        :class:`~repro.rtc.sizing.SolverContext` that solved one gets a
+        pure memo hit on the other.  The scheduler sorts pending tasks
+        by this key so chunk-mates share warm solver state; it is a
+        *scheduling* key only and never keys the result cache (that is
+        :meth:`digest`).
+        """
+        payload = {
+            "app": self.app,
+            "app_seed": self.app_seed,
+            "paper_scale": self.paper_scale,
+            "minimized": self.minimized,
+            "synthetic": _canon(self.synthetic),
+            "presolved": self.sizing is not None,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
 
 def _canon(obj):
     """Reduce ``obj`` to a canonical JSON-compatible structure."""

@@ -37,6 +37,27 @@ from repro.exec.taskspec import (
 #: (matches the Table 3 harness).
 MONITOR_NAME = "distance-monitor"
 
+#: Per-process warm solver state (see :func:`worker_solver_context`).
+_SOLVER_CONTEXT = None
+
+
+def worker_solver_context():
+    """This process's long-lived :class:`~repro.rtc.sizing.SolverContext`.
+
+    Created on first use and kept for the life of the process, so a
+    pool worker that survives across chunks — and, with the persistent
+    :class:`~repro.exec.pool.WorkerPool`, across whole sweep batches —
+    accumulates solver memos and warm-start hints instead of solving
+    cold each time.  Warm solves are bit-identical to cold ones (pinned
+    by the parallel-identity suite), so this is invisible to results.
+    """
+    global _SOLVER_CONTEXT
+    if _SOLVER_CONTEXT is None:
+        from repro.rtc.sizing import SolverContext
+
+        _SOLVER_CONTEXT = SolverContext()
+    return _SOLVER_CONTEXT
+
 
 def execute_task(spec: TaskSpec) -> TaskResult:
     """Execute one task spec and return its serialisable result."""
@@ -46,7 +67,10 @@ def execute_task(spec: TaskSpec) -> TaskResult:
     start = time.perf_counter()
     copies_before = COPY_STATS.snapshot()
     app = build_app(spec)
-    sizing = spec.sizing if spec.sizing is not None else app.sizing()
+    if spec.sizing is not None:
+        sizing = spec.sizing
+    else:
+        sizing = app.sizing(context=worker_solver_context())
     try:
         if spec.kind == KIND_REFERENCE:
             result = _execute_reference(spec, app, sizing)
@@ -70,6 +94,23 @@ def run_chunk(
 ) -> List[Tuple[int, TaskResult]]:
     """Execute a chunk of ``(index, spec)`` pairs (pool entry point)."""
     return [(index, execute_task(spec)) for index, spec in indexed_specs]
+
+
+def presolve_chunk(indexed_specs: Sequence[Tuple[int, TaskSpec]]):
+    """Solve sizings for a chunk of ``(index, spec)`` pairs (pool entry
+    point for parallel presolve).
+
+    Uses this worker's persistent :func:`worker_solver_context`, so the
+    warm-start hints one solve leaves behind are shared by the next —
+    within this chunk and with every later chunk the worker handles.
+    Only the solved :class:`~repro.rtc.sizing.SizingResult` travels
+    back (sizings are small; shipping re-specs would be redundant).
+    """
+    context = worker_solver_context()
+    return [
+        (index, build_app(spec).sizing(context=context))
+        for index, spec in indexed_specs
+    ]
 
 
 def _execute_reference(spec, app, sizing) -> TaskResult:

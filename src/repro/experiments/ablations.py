@@ -71,6 +71,7 @@ def threshold_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     registry=None,
+    executor=None,
 ) -> List[SweepPoint]:
     """A1: sweep the selector divergence threshold ``D``."""
     base_sizing = app.sizing()
@@ -105,7 +106,8 @@ def threshold_sweep(
                     selector_stall_detection=False,
                 )
             )
-    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry,
+                        executor=executor)
 
     points: List[SweepPoint] = []
     at = 0
@@ -158,6 +160,7 @@ def polling_interval_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     registry=None,
+    executor=None,
 ) -> List[SweepPoint]:
     """A2: sweep the distance-function baseline's polling period."""
     app = app.minimized()
@@ -183,7 +186,8 @@ def polling_interval_sweep(
                     ),
                 )
             )
-    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry,
+                        executor=executor)
 
     points: List[SweepPoint] = []
     at = 0
@@ -226,6 +230,7 @@ def capacity_margin_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     registry=None,
+    executor=None,
 ) -> List[SweepPoint]:
     """A3: scale the replicator capacities around the Eq. 3 values."""
     base_sizing = app.sizing()
@@ -256,7 +261,8 @@ def capacity_margin_sweep(
                     strict_single_fault=False,
                 )
             )
-    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry,
+                        executor=executor)
 
     points: List[SweepPoint] = []
     at = 0

@@ -59,17 +59,26 @@ def reproduce_all(
     Smaller ``runs`` / ``warmup_tokens`` give quick smoke reproductions.
     ``jobs`` fans each table's sweep across processes; ``cache`` (a
     :class:`repro.exec.ResultCache`) replays previously executed runs.
+    All four table sweeps share one persistent
+    :class:`repro.exec.SweepExecutor`, so the worker pool forks once for
+    the whole evaluation instead of once per table.
     """
+    from repro.exec import SweepExecutor
+
     apps = [cls(AppScale(), seed=seed) for cls in ALL_APPLICATIONS]
     table1_text = render_table1(apps)
-    table2_results = [
-        run_table2(app, runs=runs, warmup_tokens=warmup_tokens,
-                   jobs=jobs, cache=cache, registry=registry)
-        for app in apps
-    ]
-    table3_result = run_table3(apps=apps, runs=runs,
-                               warmup_tokens=min(warmup_tokens, 120),
-                               jobs=jobs, cache=cache, registry=registry)
+    with SweepExecutor(jobs=jobs, cache=cache,
+                       registry=registry) as executor:
+        table2_results = [
+            run_table2(app, runs=runs, warmup_tokens=warmup_tokens,
+                       jobs=jobs, cache=cache, registry=registry,
+                       executor=executor)
+            for app in apps
+        ]
+        table3_result = run_table3(apps=apps, runs=runs,
+                                   warmup_tokens=min(warmup_tokens, 120),
+                                   jobs=jobs, cache=cache,
+                                   registry=registry, executor=executor)
     markdown = "\n".join(
         [
             "```",

@@ -118,6 +118,7 @@ def run_table2(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     registry=None,
+    executor=None,
 ) -> Table2Result:
     """Regenerate one application's half of Table 2.
 
@@ -126,11 +127,13 @@ def run_table2(
     injection phase via the run seed) feed the latency block; one
     reference run per seed feeds the inter-frame comparison.  The sweep
     executes through :func:`repro.exec.run_sweep` — ``jobs`` fans it out
-    across processes and ``cache`` replays previously executed runs.
+    across processes and ``cache`` replays previously executed runs;
+    ``executor`` reuses a persistent warm pool across tables.
     """
     sizing = app.sizing()
     specs = table2_specs(app, runs, warmup_tokens, post_tokens, base_seed)
-    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry)
+    results = run_sweep(specs, jobs=jobs, cache=cache, registry=registry,
+                        executor=executor)
 
     max_fills = {"R1": 0, "R2": 0, "S": 0}
     ref_gaps: List[float] = []

@@ -119,6 +119,7 @@ def run_table3(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     registry=None,
+    executor=None,
 ) -> Table3Result:
     """Regenerate Table 3 across the three applications."""
     if apps is None:
@@ -135,7 +136,7 @@ def run_table3(
         per_app.append((app, faults, len(all_specs), len(specs)))
         all_specs.extend(specs)
     all_results = run_sweep(all_specs, jobs=jobs, cache=cache,
-                            registry=registry)
+                            registry=registry, executor=executor)
 
     rows: List[Table3Row] = []
     for app, faults, offset, count in per_app:

@@ -168,8 +168,14 @@ class LedgerWriter:
         task: int,
         result,
         cache_hit: bool = False,
+        deduped: bool = False,
     ) -> None:
-        """Record one completed task from its ``TaskResult``."""
+        """Record one completed task from its ``TaskResult``.
+
+        ``deduped=True`` marks a task that shared another task's result
+        (same content digest within the batch) rather than executing —
+        its record repeats the leader's result fields.
+        """
         detections = [
             {"t": record.time, "site": record.site,
              "mechanism": record.mechanism}
@@ -181,6 +187,7 @@ class LedgerWriter:
             ok=result.ok,
             error=result.error,
             cache_hit=cache_hit,
+            deduped=deduped,
             wall_s=result.wall_time_s,
             worker=result.worker,
             injected_at=result.injected_at,
@@ -336,7 +343,7 @@ def build_status(replay: LedgerReplay) -> Dict[str, Any]:
     last_ts = records[-1]["ts"] if records else None
     elapsed = (last_ts - first_ts) if records else None
 
-    submitted = finished = cache_hits = errors = 0
+    submitted = finished = cache_hits = deduped = errors = 0
     workers: Dict[str, Dict[str, float]] = {}
     for record in records:
         record_type = record.get("type")
@@ -348,6 +355,12 @@ def build_status(replay: LedgerReplay) -> Dict[str, Any]:
                 cache_hits += 1
             if record.get("ok") is False:
                 errors += 1
+            if record.get("deduped"):
+                # A shared-result duplicate repeats its leader's wall
+                # time and worker identity; counting it again would
+                # inflate that worker's throughput.
+                deduped += 1
+                continue
             worker = record.get("worker") or {}
             key = str(worker.get("pid", "?"))
             stat = workers.setdefault(
@@ -420,6 +433,7 @@ def build_status(replay: LedgerReplay) -> Dict[str, Any]:
             "submitted": submitted,
             "finished": finished,
             "cache_hits": cache_hits,
+            "deduped": deduped,
             "errors": errors,
             "done_fraction": done_fraction,
             "elapsed_s": elapsed,

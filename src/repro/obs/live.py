@@ -80,7 +80,8 @@ def render_top(status: Dict[str, Any]) -> str:
     )
     lines.append(
         f"  submitted {progress['submitted']}  cache hits "
-        f"{progress['cache_hits']}  errors {progress['errors']}"
+        f"{progress['cache_hits']}  deduped "
+        f"{progress.get('deduped', 0)}  errors {progress['errors']}"
     )
 
     verdicts = status.get("verdicts") or {}
@@ -164,7 +165,8 @@ def render_prometheus(status: Dict[str, Any]) -> str:
                 )
         lines.append(f"{prom}_count {digest.get('count', 0)}")
     progress = status.get("progress") or {}
-    for key in ("submitted", "finished", "cache_hits", "errors"):
+    for key in ("submitted", "finished", "cache_hits", "deduped",
+                "errors"):
         prom = _prom_name(f"tasks.{key}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {progress.get(key, 0)}")

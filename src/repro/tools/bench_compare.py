@@ -78,6 +78,16 @@ OBS_BENCH_STREAMING = "test_sweep_throughput_streaming"
 #: Budget for the streaming overhead, percent of the plain sweep.
 OBS_OVERHEAD_PCT = 5.0
 
+#: Multi-batch sweep benchmark recorded in the trajectory.
+SWEEP_BENCH_MULTIBATCH = "test_sweep_throughput_multibatch"
+
+#: Minimum multi-batch speedup (legacy-executor time / current time) the
+#: CI gate demands from :func:`measure_sweep_gain`.  The structural
+#: target is >= 2x (dedup halves a 50 %-duplicate batch and the
+#: persistent pool amortises fork startup); the gate floor is softer so
+#: load spikes on shared CI runners don't flake the build.
+SWEEP_GAIN_MIN = 1.5
+
 
 class BenchCompareError(Exception):
     """Environment or usage error (exit code 2)."""
@@ -264,6 +274,88 @@ def obs_overhead_check(
     )
 
 
+def sweep_gain_specs():
+    """The 50 %-duplicate scenario matrix the multi-batch harness runs.
+
+    Six unique 30-token synthetic reference specs, each appearing twice —
+    the duplicate fraction campaign batches exhibit when scenario axes
+    overlap (and the published dedup target: half the batch shares
+    digests with the other half).
+    """
+    from repro.apps.synthetic import SyntheticApp
+    from repro.exec import TaskSpec
+
+    app = SyntheticApp.bursty(seed=3)
+    sizing = app.sizing()
+    unique = [
+        TaskSpec.reference(app, 30, seed, sizing=sizing)
+        for seed in range(1, 7)
+    ]
+    return unique + unique
+
+
+def measure_sweep_gain(
+    rounds: int = 5, batches: int = 3, jobs: int = 2
+) -> float:
+    """Multi-batch sweep speedup of the current executor over the
+    pre-persistent-pool one, measured with interleaved A/B rounds.
+
+    Each round times ``batches`` consecutive sweeps of the 50 %-duplicate
+    matrix (:func:`sweep_gain_specs`, jobs=2, no cache) twice: once
+    through the *legacy* configuration — a fresh pool per batch, no
+    dedup, static chunking (``dedup=False, persistent=False,
+    target_chunk_s=None``) — and once through the current default — one
+    persistent warm pool reused across all batches, digest dedup on.
+    Legacy and current alternate within one loop so host frequency drift
+    hits both sides equally, and the returned gain is min-vs-min:
+    ``best legacy time / best current time`` (> 1 means faster now).
+    The gain is structural — fewer executions and fewer forks — so it
+    holds on single-core runners where raw pool parallelism cannot.
+    """
+    from repro.exec import SweepExecutor
+
+    specs = sweep_gain_specs()
+
+    def legacy_run() -> float:
+        begin = time.perf_counter()
+        for _ in range(batches):
+            SweepExecutor(
+                jobs=jobs, dedup=False, persistent=False,
+                target_chunk_s=None,
+            ).run(specs)
+        return time.perf_counter() - begin
+
+    def current_run() -> float:
+        begin = time.perf_counter()
+        with SweepExecutor(jobs=jobs) as executor:
+            for _ in range(batches):
+                executor.run(specs)
+        return time.perf_counter() - begin
+
+    legacy_run()  # warm imports, allocator and fork machinery
+    current_run()
+    best_legacy = best_current = float("inf")
+    for _ in range(rounds):
+        best_legacy = min(best_legacy, legacy_run())
+        best_current = min(best_current, current_run())
+    return best_legacy / best_current
+
+
+def sweep_gain_check(
+    gain: Optional[float],
+    threshold: float = SWEEP_GAIN_MIN,
+) -> Optional[str]:
+    """A failure line when the multi-batch sweep gain falls below the
+    floor; ``None`` when healthy or when no measurement is available."""
+    if gain is None or gain >= threshold:
+        return None
+    return (
+        f"multi-batch sweep gain {gain:.2f}x is below the {threshold:.2f}x "
+        "floor (persistent pool + dedup vs per-batch legacy executor, "
+        "interleaved within this run)"
+    )
+
+
 def load_db(path: Path) -> Optional[dict]:
     if not path.exists():
         return None
@@ -414,6 +506,16 @@ def self_test() -> int:
         failures.append(f"paired delta mis-computed: {delta}")
     if obs_overhead_pct({OBS_BENCH_BASE: paired[OBS_BENCH_BASE]}) is not None:
         failures.append("an incomplete pair produced a delta")
+    # Multi-batch sweep gain floor: a healthy gain passes, a shortfall
+    # is flagged, and a missing measurement is silently inconclusive.
+    if sweep_gain_check(2.4):
+        failures.append("a 2.4x sweep gain was flagged below the floor")
+    if not sweep_gain_check(1.2):
+        failures.append("a 1.2x sweep gain was not flagged")
+    if sweep_gain_check(None):
+        failures.append("a missing sweep gain measurement was flagged")
+    if sweep_gain_check(1.2, threshold=1.0):
+        failures.append("a configurable sweep gain floor was ignored")
     # Machine fingerprints: this host matches itself, never matches a
     # foreign or missing fingerprint (legacy entries gate softly).
     fp = machine_fingerprint()
@@ -503,15 +605,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"recorded streaming pair delta: {recorded_delta:+.1f} % "
               f"({OBS_BENCH_STREAMING} vs {OBS_BENCH_BASE}; "
               "informational — sequential timings drift)")
-    # The gate measurement interleaves streamed and plain sweeps so
-    # frequency drift cancels; the smoke pass skips it (and single-round
-    # smoke timings could not resolve a 5 % delta anyway).
+    # The gate measurements interleave their A and B sides so frequency
+    # drift cancels; the smoke pass skips them (and single-round smoke
+    # timings could not resolve either budget anyway).
     obs_failure = None
+    gain_failure = None
     if not args.smoke:
         measured = measure_obs_overhead()
         print(f"streaming obs overhead (interleaved): {measured:+.1f} % "
               f"(budget {OBS_OVERHEAD_PCT:.1f} %)")
         obs_failure = obs_overhead_check(measured)
+        gain = measure_sweep_gain()
+        print(f"multi-batch sweep gain (interleaved): {gain:.2f}x "
+              f"(floor {SWEEP_GAIN_MIN:.2f}x)")
+        gain_failure = sweep_gain_check(gain)
 
     label = args.label or ("smoke" if args.smoke else "run")
     entry = {
@@ -556,11 +663,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 for line in regressions:
                     print(f"  {line}", file=sys.stderr)
-                if obs_failure:
-                    # Paired within this run, so it gates even across
-                    # machine fingerprints.
-                    print(f"\nFAIL: {obs_failure}", file=sys.stderr)
-                    return 1
+                for failure in (obs_failure, gain_failure):
+                    if failure:
+                        # Paired within this run, so it gates even across
+                        # machine fingerprints.
+                        print(f"\nFAIL: {failure}", file=sys.stderr)
+                        return 1
                 return 0
             print(f"\nFAIL: {len(regressions)} regression(s) beyond "
                   f"{args.fail_on_regression:.1f} % of latest run:",
@@ -568,9 +676,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             for line in regressions:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        if obs_failure:
-            print(f"\nFAIL: {obs_failure}", file=sys.stderr)
-            return 1
+        for failure in (obs_failure, gain_failure):
+            if failure:
+                print(f"\nFAIL: {failure}", file=sys.stderr)
+                return 1
         print(f"\nOK: all benchmarks within "
               f"{args.fail_on_regression:.1f} % of latest run")
         return 0
@@ -600,9 +709,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    if obs_failure:
-        print(f"\nFAIL: {obs_failure}", file=sys.stderr)
-        return 1
+    for failure in (obs_failure, gain_failure):
+        if failure:
+            print(f"\nFAIL: {failure}", file=sys.stderr)
+            return 1
     print(f"\nOK: all benchmarks within {threshold:.1f} % of baseline")
     return 0
 

@@ -140,7 +140,7 @@ class TestShrinkSearch:
         import repro.campaign.shrink as shrink_module
         from repro.campaign.oracles import Violation
 
-        def fake_judge(scenario, oracles, jobs, cache):
+        def fake_judge(scenario, oracles, jobs, cache, executor=None):
             if scenario.fault is not None:
                 return (Violation("detection-latency", "stub"),)
             return ()

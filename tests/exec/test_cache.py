@@ -105,3 +105,73 @@ class TestRecovery:
             p for p in cache.root.rglob("*") if p.name.startswith(".tmp-")
         ]
         assert leftovers == []
+
+
+def _digest(i):
+    return f"{i:02x}" * 32
+
+
+class TestBulkLookup:
+    def test_get_many_partitions_hits_and_misses(self, cache):
+        cache.put(_digest(1), _result(stalls=1))
+        cache.put(_digest(2), _result(stalls=2))
+        found = cache.get_many([_digest(1), _digest(2), _digest(3)])
+        assert set(found) == {_digest(1), _digest(2)}
+        assert found[_digest(1)].stalls == 1
+        assert found[_digest(2)].stalls == 2
+
+    def test_get_many_empty(self, cache):
+        assert cache.get_many([]) == {}
+
+
+class TestSizeAccounting:
+    def test_size_stats_counts_entries_and_bytes(self, cache):
+        assert cache.size_stats() == {"entries": 0, "bytes": 0}
+        cache.put(_digest(1), _result())
+        cache.put(_digest(2), _result())
+        stats = cache.size_stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+
+    def test_clear_removes_everything(self, cache):
+        for i in range(1, 4):
+            cache.put(_digest(i), _result())
+        assert cache.clear() == 3
+        assert cache.size_stats() == {"entries": 0, "bytes": 0}
+        assert cache.get(_digest(1)) is None
+        # Shard directories are swept along with their entries.
+        assert list(cache.root.glob("*/")) == []
+
+    def test_clear_empty_cache(self, cache):
+        assert cache.clear() == 0
+
+    def test_prune_evicts_oldest_first(self, cache):
+        import os
+        import time
+
+        for i in range(1, 4):
+            cache.put(_digest(i), _result())
+            # Make mtime ordering explicit and platform-independent.
+            stamp = time.time() - (10 - i)
+            os.utime(cache._path(_digest(i)), (stamp, stamp))
+        entry_bytes = cache._path(_digest(1)).stat().st_size
+        report = cache.prune(max_bytes=2 * entry_bytes)
+        assert report["removed"] == 1
+        assert report["bytes"] <= 2 * entry_bytes
+        # The oldest entry went; the two newest survive.
+        assert cache.get(_digest(1)) is None
+        assert cache.get(_digest(2)) is not None
+        assert cache.get(_digest(3)) is not None
+
+    def test_prune_noop_when_under_budget(self, cache):
+        cache.put(_digest(1), _result())
+        report = cache.prune(max_bytes=1 << 30)
+        assert report["removed"] == 0
+        assert cache.get(_digest(1)) is not None
+
+    def test_prune_to_zero_clears(self, cache):
+        cache.put(_digest(1), _result())
+        cache.put(_digest(2), _result())
+        report = cache.prune(max_bytes=0)
+        assert report["removed"] == 2
+        assert report["bytes"] == 0

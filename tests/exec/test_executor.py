@@ -315,3 +315,264 @@ class TestStreaming:
         with LedgerWriter(tmp_path / "run.ledger") as ledger:
             streamed = run_sweep(specs, ledger=ledger)
         assert [_strip(r) for r in plain] == [_strip(r) for r in streamed]
+
+
+class TestDedupScheduling:
+    """Digest-level dedup: each unique spec executes exactly once per
+    batch, duplicates share the leader's result."""
+
+    def test_duplicates_share_the_leaders_result(self, specs):
+        doubled = list(specs) + list(specs)
+        executor = SweepExecutor()
+        results = executor.run(doubled)
+        n = len(specs)
+        assert executor.stats.unique == n
+        assert executor.stats.executed == n
+        assert executor.stats.deduped == n
+        assert executor.stats.cache_hits == 0
+        for i in range(n):
+            assert results[i] is results[n + i]
+
+    def test_dedup_results_identical_to_dedup_off(self, specs):
+        doubled = list(specs) + list(specs)
+        deduped = SweepExecutor(dedup=True)
+        plain = SweepExecutor(dedup=False)
+        fast = deduped.run(doubled)
+        slow = plain.run(doubled)
+        assert plain.stats.executed == len(doubled)
+        assert plain.stats.deduped == 0
+        assert [_strip(r) for r in fast] == [_strip(r) for r in slow]
+
+    def test_dedup_counters_reach_the_registry(self, specs):
+        registry = MetricsRegistry()
+        doubled = list(specs) + list(specs)
+        run_sweep(doubled, registry=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["sweep.dedup.unique"]["value"] == len(specs)
+        assert snapshot["sweep.dedup.duplicates"]["value"] == len(specs)
+        assert snapshot["sweep.executed"]["value"] == len(specs)
+        # Every task — executed or deduped — still completes.
+        assert snapshot["sweep.completed"]["value"] == len(doubled)
+
+    def test_dedup_under_pool_executes_unique_only(self, specs):
+        doubled = list(specs) + list(specs)
+        with SweepExecutor(jobs=2) as executor:
+            results = executor.run(doubled)
+        assert executor.stats.executed == len(specs)
+        assert executor.stats.deduped == len(specs)
+        serial = run_sweep(doubled, dedup=False)
+        assert [_strip(r) for r in results] == [_strip(r) for r in serial]
+
+    def test_cache_hit_resolves_followers_as_deduped(self, specs,
+                                                     tmp_path):
+        doubled = list(specs) + list(specs)
+        SweepExecutor(cache=ResultCache(tmp_path)).run(specs)
+        warm = SweepExecutor(cache=ResultCache(tmp_path))
+        warm.run(doubled)
+        # Leaders hit the cache; their duplicates count as deduped, not
+        # as extra cache hits.
+        assert warm.stats.cache_hits == len(specs)
+        assert warm.stats.deduped == len(specs)
+        assert warm.stats.executed == 0
+
+    def test_deduped_tasks_stream_flagged_ledger_records(
+        self, specs, tmp_path
+    ):
+        from repro.obs.ledger import (
+            LedgerWriter,
+            build_status,
+            merged_snapshot,
+            read_ledger,
+        )
+
+        doubled = list(specs) + list(specs)
+        with LedgerWriter(tmp_path / "run.ledger") as ledger:
+            executor = SweepExecutor(ledger=ledger)
+            executor.run(doubled)
+        replay = read_ledger(tmp_path / "run.ledger")
+        assert replay.ok, replay.warnings
+        finished = replay.by_type("task-finished")
+        assert len(finished) == len(doubled)
+        flagged = [r for r in finished if r.get("deduped")]
+        assert len(flagged) == len(specs)
+        status = build_status(replay)
+        assert status["progress"]["deduped"] == len(specs)
+        # The replayed aggregate still matches the executor's fleet view.
+        merged = merged_snapshot(replay)
+        assert merged.counters == executor.metrics.counters
+
+
+class TestMonotoneProgress:
+    """The progress callback's ``done`` counter must rise by exactly one
+    per finished task, regardless of dedup, caching, or chunking."""
+
+    def test_done_counts_every_task_exactly_once(self, specs):
+        doubled = list(specs) + list(specs)
+        seen = []
+        run_sweep(
+            doubled, jobs=2, chunksize=1,
+            progress=lambda done, total, spec, result:
+                seen.append((done, total)),
+        )
+        dones = [done for done, _ in seen]
+        assert dones == list(range(1, len(doubled) + 1))
+        assert seen[-1] == (len(doubled), len(doubled))
+
+    def test_done_resets_between_runs(self, specs):
+        executor = SweepExecutor(
+            progress=lambda done, total, spec, result:
+                seen.append(done),
+        )
+        seen = []
+        executor.run(specs)
+        executor.run(specs)
+        assert seen == list(range(1, len(specs) + 1)) * 2
+
+    def test_cache_hits_advance_progress(self, specs, tmp_path):
+        SweepExecutor(cache=ResultCache(tmp_path)).run(specs)
+        seen = []
+        run_sweep(
+            specs, cache=ResultCache(tmp_path),
+            progress=lambda done, total, spec, result:
+                seen.append(done),
+        )
+        assert seen == list(range(1, len(specs) + 1))
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_runs(self, specs):
+        executor = SweepExecutor(jobs=2)
+        try:
+            first = executor.run(specs)
+            pool = executor.pool
+            assert pool is not None and pool.active
+            forks = pool.forks
+            second = executor.run(specs)
+            assert executor.pool is pool  # same pool object
+            assert pool.forks == forks    # no refork between batches
+            assert pool.batches >= 2
+            assert [_strip(r) for r in first] == [_strip(r) for r in second]
+        finally:
+            executor.close()
+        assert executor.pool is None or not executor.pool.active
+
+    def test_worker_processes_reused_across_runs(self, specs):
+        with SweepExecutor(jobs=2) as executor:
+            first = executor.run(specs)
+            second = executor.run(specs)
+        pids_first = {r.worker["pid"] for r in first}
+        pids_second = {r.worker["pid"] for r in second}
+        assert pids_first & pids_second
+
+    def test_one_shot_executor_leaves_no_pool_behind(self, specs):
+        executor = SweepExecutor(jobs=2, persistent=False)
+        executor.run(specs)
+        assert executor.pool is None or not executor.pool.active
+
+    def test_context_manager_closes_pool(self, specs):
+        with SweepExecutor(jobs=2) as executor:
+            executor.run(specs)
+            assert executor.pool is not None and executor.pool.active
+        assert executor.pool is None or not executor.pool.active
+
+    def test_pool_metrics_gauges(self, specs):
+        registry = MetricsRegistry()
+        with SweepExecutor(jobs=2, registry=registry) as executor:
+            executor.run(specs)
+            executor.run(specs)
+        snapshot = registry.snapshot()
+        assert snapshot["sweep.pool.forks"]["value"] == 1
+        assert snapshot["sweep.pool.respawns"]["value"] == 0
+        assert snapshot["sweep.pool.batches"]["value"] >= 2
+
+
+class TestAdaptiveChunking:
+    def test_explicit_chunksize_always_wins(self):
+        executor = SweepExecutor(jobs=2, chunksize=3)
+        executor.ewma_task_s = 10.0
+        assert executor._chunksize(10, 2) == 3
+
+    def test_first_batch_uses_static_waves_heuristic(self):
+        executor = SweepExecutor(jobs=2)
+        assert executor.ewma_task_s is None
+        assert executor._chunksize(16, 2) == 2  # ceil(16 / (2 * 4))
+
+    def test_ewma_sizes_chunks_toward_target(self):
+        executor = SweepExecutor(jobs=2)
+        executor.ewma_task_s = 0.05
+        assert executor._chunksize(100, 2) == 5  # 0.25s / 50ms
+        executor.ewma_task_s = 1.0
+        assert executor._chunksize(100, 2) == 1  # slow tasks: tiny chunks
+        executor.ewma_task_s = 0.001
+        # Fast tasks: capped so every worker still gets a chunk.
+        assert executor._chunksize(100, 2) == 50
+
+    def test_adaptive_disabled_falls_back_to_static(self):
+        executor = SweepExecutor(jobs=2, target_chunk_s=None)
+        executor.ewma_task_s = 0.05
+        assert executor._chunksize(16, 2) == 2
+
+    def test_latency_estimate_updates_across_runs(self, specs):
+        executor = SweepExecutor()
+        assert executor.ewma_task_s is None
+        executor.run(specs)
+        first = executor.ewma_task_s
+        assert first is not None and first > 0
+        executor.run(specs)
+        assert executor.ewma_task_s is not None
+
+    def test_observe_latency_ewma_unit(self):
+        executor = SweepExecutor()
+        executor._observe_latency(1.0)
+        assert executor.ewma_task_s == 1.0
+        executor._observe_latency(0.0)
+        assert executor.ewma_task_s == pytest.approx(0.7)
+
+    def test_chunksize_recorded_in_stats(self, specs):
+        with SweepExecutor(jobs=2, chunksize=2) as executor:
+            executor.run(specs)
+        assert executor.stats.chunksize == 2
+        assert executor.stats.as_dict()["chunksize"] == 2
+
+
+class TestPresolve:
+    def test_unsized_specs_match_presized_results(self, app):
+        unsized = [TaskSpec.reference(app, 40, seed) for seed in (1, 2)]
+        sized = [TaskSpec.reference(app, 40, seed, sizing=app.sizing())
+                 for seed in (1, 2)]
+        executor = SweepExecutor()
+        results = executor.run(unsized)
+        assert executor.stats.presolved == len(unsized)
+        baseline = run_sweep(sized)
+        assert [_strip(r) for r in results] == [_strip(r) for r in baseline]
+
+    def test_presized_specs_skip_presolve(self, specs):
+        executor = SweepExecutor()
+        executor.run(specs)
+        assert executor.stats.presolved == 0
+
+    def test_presolve_does_not_perturb_cache_keys(self, app, tmp_path):
+        unsized = [TaskSpec.reference(app, 40, seed) for seed in (1, 2)]
+        SweepExecutor(cache=ResultCache(tmp_path)).run(unsized)
+        warm = SweepExecutor(cache=ResultCache(tmp_path))
+        warm.run(unsized)
+        # Digests come from the *original* specs, so the presolved copy
+        # never leaks into the cache key.
+        assert warm.stats.cache_hits == len(unsized)
+        assert warm.stats.executed == 0
+
+    def test_parallel_presolve_matches_serial(self, app):
+        unsized = [TaskSpec.reference(app, 40, seed)
+                   for seed in (1, 2, 3, 4)]
+        serial = run_sweep(unsized, jobs=1)
+        with SweepExecutor(jobs=2) as executor:
+            pooled = executor.run(unsized)
+        assert executor.stats.presolved == len(unsized)
+        assert [_strip(r) for r in serial] == [_strip(r) for r in pooled]
+
+    def test_presolve_counter_reaches_registry(self, app):
+        registry = MetricsRegistry()
+        unsized = [TaskSpec.reference(app, 40, seed) for seed in (1, 2)]
+        run_sweep(unsized, registry=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["sweep.presolve.solved"]["value"] == 2

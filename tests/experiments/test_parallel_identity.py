@@ -139,3 +139,75 @@ class TestSolverContextIdentity:
         again = presolve_sizings(first)
         # Already-sized specs pass through untouched (same objects).
         assert all(a is b for a, b in zip(first, again))
+
+
+class TestExecutionMatrix:
+    """The PR 9 acceptance matrix: every combination of chunking mode,
+    worker count and dedup must be byte-identical to the plain serial
+    run, and with dedup on each unique digest executes exactly once."""
+
+    @pytest.fixture(scope="class")
+    def matrix_specs(self):
+        from repro.apps.synthetic import SyntheticApp
+        from repro.exec import TaskSpec
+
+        synthetic = SyntheticApp.bursty(seed=3)
+        sizing = synthetic.sizing()
+        unique = [
+            TaskSpec.reference(synthetic, 30, seed, sizing=sizing)
+            for seed in (1, 2, 3, 4)
+        ]
+        # Two duplicates interleaved: 6 tasks, 4 unique digests.
+        return [unique[0], unique[1], unique[2],
+                unique[0], unique[3], unique[1]]
+
+    @pytest.fixture(scope="class")
+    def baseline(self, matrix_specs):
+        from repro.exec import run_sweep
+
+        return self._canonical(
+            run_sweep(matrix_specs, jobs=1, dedup=False)
+        )
+
+    @staticmethod
+    def _canonical(results):
+        import dataclasses
+
+        payload = []
+        for result in results:
+            entry = dataclasses.asdict(result)
+            entry.pop("wall_time_s")
+            entry.pop("worker")
+            entry.pop("metrics")
+            payload.append(entry)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("chunksize", [1, 3, None])
+    @pytest.mark.parametrize("dedup", [True, False])
+    def test_byte_identical_and_exactly_once(
+        self, matrix_specs, baseline, jobs, chunksize, dedup
+    ):
+        from repro.exec import run_sweep
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        results = run_sweep(matrix_specs, jobs=jobs, chunksize=chunksize,
+                            dedup=dedup, registry=registry)
+        assert self._canonical(results) == baseline
+
+        unique = len({spec.digest() for spec in matrix_specs})
+        duplicates = len(matrix_specs) - unique
+        snapshot = registry.snapshot()
+        if dedup:
+            # Exactly-once execution per unique digest.
+            assert snapshot["sweep.executed"]["value"] == unique
+            assert snapshot["sweep.dedup.unique"]["value"] == unique
+            assert (snapshot["sweep.dedup.duplicates"]["value"]
+                    == duplicates)
+        else:
+            assert (snapshot["sweep.executed"]["value"]
+                    == len(matrix_specs))
+            assert snapshot["sweep.dedup.duplicates"]["value"] == 0
+        assert snapshot["sweep.completed"]["value"] == len(matrix_specs)
+        assert snapshot["sweep.errors"]["value"] == 0

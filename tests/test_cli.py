@@ -350,3 +350,47 @@ class TestStreamingCli:
         assert "status endpoint: http://127.0.0.1:" in (
             capsys.readouterr().out
         )
+
+
+class TestCacheCommand:
+    def _populate(self, root, entries=3):
+        from repro.exec import ResultCache, TaskResult
+
+        cache = ResultCache(root)
+        for i in range(1, entries + 1):
+            cache.put(f"{i:02x}" * 32, TaskResult(kind="reference"))
+        return cache
+
+    def test_stats_reports_entries_and_size(self, tmp_path, capsys):
+        self._populate(tmp_path / "cache")
+        code = main(["cache", "--dir", str(tmp_path / "cache"), "stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "MiB" in out
+
+    def test_clear_empties_the_cache(self, tmp_path, capsys):
+        cache = self._populate(tmp_path / "cache")
+        code = main(["cache", "--dir", str(tmp_path / "cache"), "clear"])
+        assert code == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert cache.size_stats() == {"entries": 0, "bytes": 0}
+
+    def test_prune_respects_budget(self, tmp_path, capsys):
+        cache = self._populate(tmp_path / "cache")
+        code = main(["cache", "--dir", str(tmp_path / "cache"),
+                     "prune", "--max-mb", "0"])
+        assert code == 0
+        assert "removed 3 of 3 entries" in capsys.readouterr().out
+        assert cache.size_stats()["entries"] == 0
+
+    def test_prune_noop_under_budget(self, tmp_path, capsys):
+        self._populate(tmp_path / "cache")
+        code = main(["cache", "--dir", str(tmp_path / "cache"),
+                     "prune", "--max-mb", "1024"])
+        assert code == 0
+        assert "removed 0 of 3 entries" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache"])
