@@ -31,6 +31,12 @@ from repro.campaign.engine import (
     run_campaign,
     run_scenario,
 )
+from repro.campaign.mttf import (
+    MttfConfig,
+    MttfCycle,
+    MttfResult,
+    run_mttf_campaign,
+)
 from repro.campaign.oracles import (
     ALL_ORACLES,
     Oracle,
@@ -49,9 +55,13 @@ from repro.campaign.persist import (
 )
 from repro.campaign.report import (
     CAMPAIGN_SCHEMA_ID,
+    MTTF_SCHEMA_ID,
     build_campaign_report,
+    build_mttf_report,
     render_campaign_report,
+    render_mttf_report,
     validate_campaign_report,
+    validate_mttf_report,
 )
 from repro.campaign.scenario import (
     MISSIZE_CAPACITY,
@@ -71,6 +81,10 @@ __all__ = [
     "CampaignResult",
     "MISSIZE_CAPACITY",
     "MISSIZE_THRESHOLD",
+    "MTTF_SCHEMA_ID",
+    "MttfConfig",
+    "MttfCycle",
+    "MttfResult",
     "Oracle",
     "OutcomeContext",
     "REPRODUCER_SCHEMA_ID",
@@ -83,12 +97,15 @@ __all__ = [
     "SyntheticModels",
     "Violation",
     "build_campaign_report",
+    "build_mttf_report",
     "evaluate_scenario",
     "load_reproducer",
     "oracles_by_name",
     "render_campaign_report",
+    "render_mttf_report",
     "replay_reproducer",
     "run_campaign",
+    "run_mttf_campaign",
     "run_scenario",
     "save_reproducer",
     "save_run_report",
@@ -96,4 +113,5 @@ __all__ = [
     "scenario_to_jsonable",
     "shrink_scenario",
     "validate_campaign_report",
+    "validate_mttf_report",
 ]

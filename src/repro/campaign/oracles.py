@@ -16,6 +16,8 @@ oracle                 paper claim it checks
 ``isolation``          Lemma 1: only the faulty replica is implicated
 ``detection-latency``  Eqs. 6-8: faults are detected within the bound
 ``equivalence``        Theorem 2: consumer stream identical to reference
+``recovery``           Theorem 2 holds *again* after a closed-loop
+                       recovery, within the weakly-hard (m, k) budget
 =====================  ==================================================
 
 The ``detection-latency`` oracle enforces the per-site Eq. 8 numbers
@@ -209,6 +211,90 @@ def _check_equivalence(ctx: OutcomeContext) -> List[Violation]:
     return violations
 
 
+def _check_recovery(ctx: OutcomeContext) -> List[Violation]:
+    """Post-recovery equivalence: after the countermeasure completes,
+    the duplicated network must behave like Theorem 2 promises again —
+    no further detections, the reference stream, and every deadline
+    miss of the transient inside the weakly-hard ``(m, k)`` budget and
+    confined to ``[injection, completion]``.
+    """
+    spec = ctx.scenario.recovery
+    if spec is None or not ctx.runs_ok:
+        return []
+    from repro.recovery.weakly_hard import account
+
+    summary = ctx.duplicated.recovery or {}
+    attempts = summary.get("attempts", [])
+    fault = ctx.scenario.fault
+    if fault is None:
+        if attempts:
+            first = attempts[0]
+            return [Violation(
+                "recovery",
+                f"countermeasure fired at t={first['detected_at']:.3f} "
+                f"in a fault-free run (a recovery needs a fault)",
+            )]
+        return []
+    if not attempts:
+        return [Violation(
+            "recovery",
+            f"{fault.kind} fault at t={ctx.injected_at:.3f} never "
+            f"triggered the countermeasure manager",
+        )]
+    if not spec.respawn:
+        # Fail-safe isolation: the replica stays quarantined; there is
+        # no post-recovery regime to re-establish.
+        return []
+    violations = []
+    incomplete = [a for a in attempts if a.get("completed_at") is None]
+    if incomplete:
+        return [Violation(
+            "recovery",
+            f"recovery of replica {incomplete[0]['replica'] + 1} "
+            f"(detected t={incomplete[0]['detected_at']:.3f}) never "
+            f"completed within the {ctx.scenario.tokens}-token run",
+        )]
+    completed_at = max(a["completed_at"] for a in attempts)
+    late = [d for d in ctx.duplicated.detections
+            if d.time > completed_at + LATENCY_TOLERANCE]
+    if late:
+        first = late[0]
+        violations.append(Violation(
+            "recovery",
+            f"detection at t={first.time:.3f} "
+            f"({first.site}/{first.mechanism}) after recovery claimed "
+            f"completion at t={completed_at:.3f} — Theorem 2 was not "
+            f"re-established",
+        ))
+    if ctx.duplicated.value_hashes != ctx.reference.value_hashes:
+        violations.append(Violation(
+            "recovery",
+            "post-recovery consumer stream differs from the reference "
+            "network (recovered run must still deliver Theorem 2 "
+            "values)",
+        ))
+    acct = account(
+        ctx.reference.times,
+        ctx.duplicated.times,
+        spec.m,
+        spec.k,
+        spec.miss_tolerance_ms,
+    )
+    if not acct.within_budget:
+        violations.append(Violation(
+            "recovery",
+            f"weakly-hard budget exceeded: {acct.worst_window} misses "
+            f"in a {spec.k}-token window (allowed m={spec.m})",
+        ))
+    if not acct.confined_to(ctx.injected_at, completed_at):
+        violations.append(Violation(
+            "recovery",
+            f"{acct.misses} deadline miss(es) outside the recovery "
+            f"window [{ctx.injected_at:.3f}, {completed_at:.3f}]",
+        ))
+    return violations
+
+
 #: All oracles, in report order.
 ALL_ORACLES: Tuple[Oracle, ...] = (
     Oracle(
@@ -235,6 +321,11 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
         name="equivalence",
         claim="Theorem 2: consumer stream identical to the reference",
         check=_check_equivalence,
+    ),
+    Oracle(
+        name="recovery",
+        claim="post-recovery equivalence within the weakly-hard budget",
+        check=_check_recovery,
     ),
 )
 

@@ -143,6 +143,129 @@ def build_campaign_report(result: CampaignResult) -> Dict[str, Any]:
     }
 
 
+#: Schema identifier embedded in every MTTF campaign report.
+MTTF_SCHEMA_ID = "repro.mttf-report/1"
+
+#: The MTTF report contract (same validator conventions as above).
+MTTF_REPORT_SCHEMA: Dict[str, Any] = {
+    "schema": (str,),                      # == MTTF_SCHEMA_ID
+    "mttf": {
+        "seed": (int,),                    # campaign seed
+        "cycles": (int,),                  # inject→recover cycles judged
+        "converged": (bool,),              # moving average settled?
+        "ok": (bool,),                     # every cycle passed oracles
+        "mttf_ms": (float, int),           # nullable: mean time to failure
+        "mttr_ms": (float, int),           # nullable: mean time to repair
+        "availability": (float, int),      # nullable: MTTF/(MTTF+MTTR)
+    },
+    "recovery": dict,                      # RecoverySpec.as_dict()
+    "verdicts": dict,                      # verdict -> count
+    "cycles": [{
+        "index": (int,),                   # cycle number
+        "label": (str,),                   # scenario identity
+        "verdict": (str,),                 # pass | violation | ...
+        "ttf_ms": (float, int),            # nullable
+        "mttr_ms": (float, int),           # nullable
+        "availability": (float, int),      # nullable running estimate
+        "violations": [{
+            "oracle": (str,),
+            "message": (str,),
+        }],
+    }],
+}
+
+
+def build_mttf_report(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.campaign.mttf.MttfResult` into the
+    ``repro.mttf-report/1`` document."""
+    cycles: List[Dict[str, Any]] = []
+    for index, cycle in enumerate(result.cycles):
+        trace = result.availability_trace
+        cycles.append({
+            "index": index,
+            "label": cycle.outcome.scenario.label(),
+            "verdict": cycle.verdict,
+            "ttf_ms": cycle.ttf_ms,
+            "mttr_ms": cycle.mttr_ms,
+            "availability": trace[index] if index < len(trace) else None,
+            "violations": [
+                v.as_dict() for v in cycle.outcome.violations
+            ],
+        })
+    return {
+        "schema": MTTF_SCHEMA_ID,
+        "mttf": {
+            "seed": result.seed,
+            "cycles": len(result.cycles),
+            "converged": result.converged,
+            "ok": result.ok,
+            "mttf_ms": result.mttf_ms,
+            "mttr_ms": result.mttr_ms,
+            "availability": result.availability,
+        },
+        "recovery": result.recovery.as_dict(),
+        "verdicts": result.verdict_counts(),
+        "cycles": cycles,
+    }
+
+
+def validate_mttf_report(report: Dict[str, Any]) -> None:
+    """Check a report against :data:`MTTF_REPORT_SCHEMA`."""
+    if report.get("schema") != MTTF_SCHEMA_ID:
+        raise ValueError(
+            f"report schema is {report.get('schema')!r}, expected "
+            f"{MTTF_SCHEMA_ID!r}"
+        )
+    _validate_node(report, MTTF_REPORT_SCHEMA, path="mttf-report")
+
+
+def render_mttf_report(report: Dict[str, Any]) -> str:
+    """Human-readable MTTF campaign summary."""
+    head = report["mttf"]
+    lines: List[str] = []
+    state = "converged" if head["converged"] else "cycle budget hit"
+    lines.append(
+        f"MTTF campaign: seed={head['seed']} {head['cycles']} cycle(s) "
+        f"({state})"
+    )
+
+    def fmt(value, digits=2):
+        return "n/a" if value is None else f"{value:.{digits}f}"
+
+    lines.append(
+        f"  MTTF {fmt(head['mttf_ms'])} ms, MTTR {fmt(head['mttr_ms'])} "
+        f"ms, availability {fmt(head['availability'], 6)}"
+    )
+    verdicts = report["verdicts"]
+    lines.append(
+        "  verdicts: " + ", ".join(
+            f"{count} {name}" for name, count in sorted(verdicts.items())
+        )
+    )
+    recovery = report["recovery"]
+    lines.append(
+        f"  countermeasure: respawn={recovery.get('respawn')} "
+        f"reprime={recovery.get('reprime')} "
+        f"response={recovery.get('response_ms')} ms "
+        f"(m,k)=({recovery.get('m')},{recovery.get('k')})"
+    )
+    failures = [c for c in report["cycles"]
+                if c["verdict"] not in ("pass", "expected-violation")]
+    if failures:
+        lines.append("")
+        lines.append("Failures")
+        for cycle in failures:
+            lines.append(
+                f"  cycle {cycle['index']} {cycle['label']}  "
+                f"[{cycle['verdict']}]"
+            )
+            for violation in cycle["violations"]:
+                lines.append(
+                    f"    {violation['oracle']}: {violation['message']}"
+                )
+    return "\n".join(lines)
+
+
 def validate_campaign_report(report: Dict[str, Any]) -> None:
     """Check a report against :data:`CAMPAIGN_REPORT_SCHEMA`.
 

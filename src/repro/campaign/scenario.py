@@ -29,13 +29,15 @@ from repro.apps import ALL_APPLICATIONS
 from repro.apps.base import AppScale, StreamingApplication
 from repro.apps.synthetic import SyntheticApp
 from repro.exec.taskspec import TaskSpec, _canon
-from repro.faults.models import RATE_DEGRADE, FaultSpec
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
 from repro.faults.sampling import FaultSampler, derive_rng
+from repro.recovery.spec import RecoverySpec
 from repro.rtc.pjd import PJD
 from repro.rtc.sizing import SizingResult
 
 #: Version of the scenario schema; participates in every digest.
-SCENARIO_SCHEMA_VERSION = 1
+#: v2: ``recovery`` (closed-loop countermeasure policy per cell).
+SCENARIO_SCHEMA_VERSION = 2
 
 #: Deliberate mis-sizing kinds (oracle self-tests).
 MISSIZE_THRESHOLD = "threshold"  # divergence thresholds forced to 1 (Eq. 5)
@@ -82,6 +84,9 @@ class Scenario:
     capacity_margin: float = 1.0
     missize: Optional[str] = None
     expect_violation: bool = False
+    #: Closed-loop countermeasure policy; ``None`` leaves detection
+    #: open-loop (the pre-recovery campaign behaviour).
+    recovery: Optional[RecoverySpec] = None
 
     def __post_init__(self) -> None:
         if self.tokens < 1:
@@ -155,6 +160,7 @@ class Scenario:
             # Mis-sized self-tests may implicate both replicas; let the
             # run record that rather than abort (the ablation idiom).
             strict_single_fault=self.missize is None,
+            recovery=self.recovery,
         )
         return reference, duplicated
 
@@ -181,6 +187,13 @@ class Scenario:
             parts.append(f"margin={self.capacity_margin:g}")
         if self.missize is not None:
             parts.append(f"missize={self.missize}")
+        if self.recovery is not None:
+            tag = "recovery"
+            if not self.recovery.respawn:
+                tag = "recovery=isolate"
+            elif not self.recovery.reprime:
+                tag = "recovery=broken"
+            parts.append(tag)
         return " ".join(parts)
 
 
@@ -188,7 +201,7 @@ class Scenario:
 
 _JSON_TYPES = {
     cls.__name__: cls
-    for cls in (Scenario, SyntheticModels, FaultSpec, PJD)
+    for cls in (Scenario, SyntheticModels, FaultSpec, PJD, RecoverySpec)
 }
 
 _TUPLE_FIELDS = {"SyntheticModels": ("replicas",)}
@@ -276,6 +289,7 @@ class ScenarioGenerator:
         margin_rate: float = 0.2,
         max_tokens: int = 420,
         max_attempts: int = 8,
+        recovery: Optional[RecoverySpec] = None,
     ) -> None:
         self.seed = seed
         self.app_weights = tuple(app_weights or DEFAULT_APP_WEIGHTS)
@@ -286,6 +300,10 @@ class ScenarioGenerator:
         self.margin_rate = margin_rate
         self.max_tokens = max_tokens
         self.max_attempts = max_attempts
+        #: When set, every faulted scenario closes the loop with this
+        #: countermeasure policy (fault-free cells stay open-loop — a
+        #: manager with nothing to detect would be pure overhead).
+        self.recovery = recovery
         self.sampler = FaultSampler(seed)
 
     def generate(self, budget: int) -> List[Scenario]:
@@ -330,7 +348,47 @@ class ScenarioGenerator:
                     expect_violation=True,
                 )
             )
+        tests.append(self._broken_countermeasure_test())
         return tests
+
+    def _broken_countermeasure_test(self) -> Scenario:
+        """The deliberately broken countermeasure the ``recovery``
+        oracle *must* catch.
+
+        A fail-stop fault recovers with ``reprime=False``: the replica
+        is killed and respawned but the selector's virtual counters are
+        never re-primed, so the fault flag clears against stale state
+        and the replica deterministically relapses into a stall
+        detection after the claimed completion — exactly what the
+        post-recovery-equivalence check flags.
+        """
+        rng = derive_rng(self.seed, "selftest", "broken-countermeasure")
+        app = SyntheticApp()
+        models = SyntheticModels(
+            producer=app.producer_model,
+            replicas=(app.replica_input_models[0],
+                      app.replica_input_models[1]),
+            consumer=app.consumer_model,
+        )
+        warmup = 30
+        period = app.producer_model.period
+        fault = FaultSpec(
+            replica=0,
+            time=(warmup + 0.25) * period,
+            kind=FAIL_STOP,
+        )
+        broken = RecoverySpec(reprime=False)
+        return Scenario(
+            index=-(len(_MISSIZES) + 1),
+            app=app.name,
+            tokens=warmup + self._post_tokens(app, fault, broken),
+            warmup_tokens=warmup,
+            seed=rng.randrange(1_000_000),
+            models=models,
+            fault=fault,
+            recovery=broken,
+            expect_violation=True,
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -370,7 +428,8 @@ class ScenarioGenerator:
         if rng.random() < self.margin_rate:
             margin = rng.choice(MARGIN_CHOICES)
 
-        tokens = warmup + self._post_tokens(app, fault)
+        recovery = self.recovery if fault is not None else None
+        tokens = warmup + self._post_tokens(app, fault, recovery)
         if tokens > self.max_tokens:
             return None
         return Scenario(
@@ -383,16 +442,22 @@ class ScenarioGenerator:
             models=models,
             fault=fault,
             capacity_margin=margin,
+            recovery=recovery,
         )
 
     def _post_tokens(self, app: StreamingApplication,
-                     fault: Optional[FaultSpec]) -> int:
+                     fault: Optional[FaultSpec],
+                     recovery: Optional[RecoverySpec] = None) -> int:
         """Tokens past the warmup so detection fits inside the run.
 
         The stream must outlive the worst-case Eq. 8 window (in producer
         periods) plus threshold-sized slack; a rate-degradation fault
         stretches the window by ``s / (s - 1)`` because the limping
-        replica keeps delivering at ``1/s`` of its rate.
+        replica keeps delivering at ``1/s`` of its rate.  A closed-loop
+        scenario additionally needs the handover to drain (one more
+        detection window's worth of healthy writes) *and* a second
+        window past completion, so the post-recovery-equivalence oracle
+        has room to observe a broken countermeasure relapse.
         """
         sizing = app.sizing()
         period = app.producer_model.period
@@ -404,6 +469,9 @@ class ScenarioGenerator:
         if fault is not None and fault.kind == RATE_DEGRADE:
             factor = fault.slowdown / (fault.slowdown - 1.0)
             post = int(math.ceil(post * factor))
+        if recovery is not None and fault is not None:
+            post += 2 * (int(math.ceil(bound / period)) + slack)
+            post += int(math.ceil(recovery.response_ms / period))
         return post
 
     def _fallback(self, index: int) -> Scenario:
@@ -422,12 +490,14 @@ class ScenarioGenerator:
             fault = self.sampler.sample(
                 index, app.producer_model.period, warmup
             )
+        recovery = self.recovery if fault is not None else None
         return Scenario(
             index=index,
             app=app.name,
-            tokens=warmup + self._post_tokens(app, fault),
+            tokens=warmup + self._post_tokens(app, fault, recovery),
             warmup_tokens=warmup,
             seed=rng.randrange(1_000_000),
             models=models,
             fault=fault,
+            recovery=recovery,
         )

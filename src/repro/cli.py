@@ -366,6 +366,9 @@ def _cmd_campaign(args) -> int:
             print(f"  status endpoint: "
                   f"http://127.0.0.1:{server.port}/status")
 
+    if args.mttf:
+        return _run_mttf(args, jobs, cache, ledger, server)
+
     config = CampaignConfig(
         seed=args.seed,
         budget=args.budget,
@@ -416,6 +419,70 @@ def _cmd_campaign(args) -> int:
                 print(f"run report skipped (run aborts): {error}")
             else:
                 print(f"run report written to {report_artifact}")
+    return 0 if result.ok else 1
+
+
+def _run_mttf(args, jobs, cache, ledger, server) -> int:
+    """The ``repro campaign --mttf`` mode: availability to convergence."""
+    import json
+    from pathlib import Path
+
+    from repro.campaign import (
+        MttfConfig,
+        build_mttf_report,
+        render_mttf_report,
+        run_mttf_campaign,
+        validate_mttf_report,
+    )
+    from repro.recovery import RecoverySpec
+
+    recovery = RecoverySpec(
+        reprime=not args.broken_countermeasure,
+        response_ms=args.response_ms,
+    )
+    config = MttfConfig(
+        seed=args.seed,
+        max_cycles=args.max_cycles,
+        min_cycles=args.min_cycles,
+        window=args.mttf_window,
+        rel_tol=args.mttf_rel_tol,
+        jobs=jobs,
+        recovery=recovery,
+        oracles=tuple(args.oracle or ()),
+        cache=cache,
+        ledger=ledger,
+    )
+    try:
+        result = run_mttf_campaign(
+            config, progress=lambda message: print(f"  {message}")
+        )
+    finally:
+        if server is not None:
+            server.close()
+        if ledger is not None:
+            ledger.close()
+    report = build_mttf_report(result)
+    validate_mttf_report(report)
+    print()
+    print(render_mttf_report(report))
+
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = out_dir / "mttf-report.json"
+        report_path.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"\nmttf report written to {report_path}")
+
+    if args.broken_countermeasure:
+        # Self-test mode: success means the recovery oracle caught the
+        # deliberately broken countermeasure in *every* cycle.
+        caught = bool(result.cycles) and all(
+            any(v.oracle == "recovery" for v in c.outcome.violations)
+            for c in result.cycles
+        )
+        print(f"\nbroken countermeasure "
+              f"{'caught in every cycle' if caught else 'NOT caught'}")
+        return 0 if caught else 1
     return 0 if result.ok else 1
 
 
@@ -674,9 +741,41 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--oracle", action="append", metavar="NAME",
         choices=["run-ok", "no-false-positive", "isolation",
-                 "detection-latency", "equivalence"],
+                 "detection-latency", "equivalence", "recovery"],
         help="restrict to this oracle (repeatable; default: all)",
     )
+    campaign.add_argument(
+        "--mttf", action="store_true",
+        help="run an MTTF/availability campaign instead: repeated "
+             "inject->detect->recover cycles with the closed-loop "
+             "countermeasure, judged by the oracle suite, until the "
+             "availability estimate converges",
+    )
+    campaign.add_argument("--max-cycles", type=int, default=60,
+                          metavar="N",
+                          help="MTTF mode: cycle budget (default 60)")
+    campaign.add_argument("--min-cycles", type=int, default=12,
+                          metavar="N",
+                          help="MTTF mode: cycles before convergence may "
+                               "stop the campaign (default 12)")
+    campaign.add_argument("--mttf-window", type=int, default=8,
+                          metavar="N",
+                          help="MTTF mode: moving-average window of the "
+                               "convergence test (default 8)")
+    campaign.add_argument("--mttf-rel-tol", type=float, default=0.05,
+                          metavar="F",
+                          help="MTTF mode: relative availability change "
+                               "below which the estimate counts as "
+                               "converged (default 0.05)")
+    campaign.add_argument("--response-ms", type=float, default=0.0,
+                          metavar="MS",
+                          help="MTTF mode: virtual delay between "
+                               "detection and countermeasure (default 0)")
+    campaign.add_argument("--broken-countermeasure", action="store_true",
+                          help="MTTF mode: skip the selector re-prime "
+                               "(the deliberately broken countermeasure; "
+                               "every cycle must then trip the recovery "
+                               "oracle)")
     campaign.add_argument("--out-dir", metavar="DIR",
                           help="write campaign-report.json and reproducer "
                                "files here")

@@ -118,6 +118,10 @@ class ReplicatorChannel:
         self.fault = [False, False]
         self.reads = [0, 0]
         self.writes = 0
+        #: Interface under post-countermeasure catch-up (see
+        #: :meth:`reprime`); consumption-divergence detection is muted
+        #: until the healthy replica's read counter catches back up.
+        self._recovering: Optional[int] = None
         self._sim = None
         self._parked_readers: Tuple[Deque, Deque] = (deque(), deque())
         self._parked_writers: Deque = deque()
@@ -190,8 +194,35 @@ class ReplicatorChannel:
         if not self.fault[replica]:
             self.fault[replica] = True
 
+    # -- recovery -----------------------------------------------------------
+
+    def reprime(self, replica: int) -> int:
+        """Re-prime interface ``replica`` for a respawned generation.
+
+        The stale queue is flushed (its tokens were meant for the dead
+        generation), the read counter fast-forwards to the producer's
+        write counter — the respawned replica starts exactly at the live
+        input frontier — and the fault flag clears so rule R3 enqueues
+        into this queue again.  The consumption-divergence check is
+        muted until the *healthy* replica's read counter has caught back
+        up to the recovered one's (the fast-forward put the recovered
+        counter ahead by the healthy backlog; that offset is transient
+        bookkeeping, not divergence).  Occupancy-based detection stays
+        armed throughout — a failed respawn fills the queue and is
+        re-detected.  Returns the number of flushed tokens.
+        """
+        if replica not in (0, 1):
+            raise ValueError("replica index must be 0 or 1")
+        flushed = len(self._queues[replica])
+        self._queues[replica].clear()
+        self.reads[replica] = self.writes
+        self.fault[replica] = False
+        self._recovering = replica
+        return flushed
+
     def _check_divergence(self, now: float) -> None:
-        if self.threshold is None or self.any_fault:
+        if (self.threshold is None or self.any_fault
+                or self._recovering is not None):
             return
         gap = self.reads[0] - self.reads[1]
         if gap > self.threshold:
@@ -223,6 +254,10 @@ class ReplicatorChannel:
             return ("wait", ready)
         queue.popleft()
         self.reads[index] += 1
+        if self._recovering is not None:
+            recovering = self._recovering
+            if self.reads[1 - recovering] >= self.reads[recovering]:
+                self._recovering = None
         if self.traces is not None:
             self.traces[index].on_read(now, token.seqno, index)
         if self._m_div is not None:

@@ -183,6 +183,12 @@ class SelectorChannel:
             self._m_div = None
             self._m_headroom = None
         self._pending_values: Dict[int, Any] = {}
+        #: Interface under post-countermeasure handover (see
+        #: :meth:`begin_recovery`); ``_handover`` is the number of solo
+        #: writes the healthy interface owes before pairing resumes.
+        self._recovering: Optional[int] = None
+        self._handover = 0
+        self._on_recovered: Optional[Callable[[float], None]] = None
         self._sim = None
         self._parked_reader: Deque = deque()
         self._parked_writers: Tuple[Deque, Deque] = (deque(), deque())
@@ -251,6 +257,72 @@ class SelectorChannel:
             self.fault[replica] = True
             self._pending_values.clear()
             self._wake(self._parked_writers[replica])
+
+    # -- recovery -----------------------------------------------------------
+
+    def begin_recovery(
+        self,
+        replica: int,
+        handover: int,
+        now: float,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Start the post-countermeasure handover on interface ``replica``.
+
+        ``handover`` is the producer's write count at countermeasure
+        time: every token up to it must be delivered by the *healthy*
+        interface solo — the respawned generation never saw them, and
+        the physical FIFO is order-preserving, so the recovered
+        interface may not enqueue before the healthy one has caught up.
+        The quarantined interface keeps discarding writes meanwhile;
+        each discard extends the obligation by one (that token's pair
+        member was just thrown away).  The healthy write that fulfils
+        the obligation completes recovery: ``writes`` of the recovered
+        interface snaps to the healthy count, ``space`` is re-primed
+        from the channel invariant ``space_k = |S_k| - priming -
+        writes_k + reads``, the fault flag clears, and normal S1-S3
+        pairing resumes with the very next token.
+        """
+        if replica not in (0, 1):
+            raise ValueError("replica index must be 0 or 1")
+        if self._recovering is not None:
+            raise SimulationError(
+                f"{self.name}: recovery already in progress on interface "
+                f"{self._recovering + 1}"
+            )
+        if handover < 0:
+            raise ValueError("handover must be >= 0")
+        if not self.fault[replica]:
+            self.fault[replica] = True
+            self._pending_values.clear()
+        self._recovering = replica
+        self._handover = handover
+        self._on_recovered = on_complete
+        self._maybe_complete_recovery(now)
+        # Never let the respawned writer deadlock behind a stale park
+        # (killed handles are ignored by the retry machinery).
+        self._wake(self._parked_writers[replica])
+
+    def _maybe_complete_recovery(self, now: float) -> None:
+        recovering = self._recovering
+        healthy = 1 - recovering
+        if self.writes[healthy] < self._handover:
+            return
+        self.writes[recovering] = self.writes[healthy]
+        self.space[recovering] = max(
+            0,
+            self.capacities[recovering] - self.priming
+            - self.writes[recovering] + self.reads,
+        )
+        self.fault[recovering] = False
+        self._recovering = None
+        self._handover = 0
+        if self._m_fill is not None:
+            self._sample(now)
+        callback = self._on_recovered
+        self._on_recovered = None
+        if callback is not None:
+            callback(now)
 
     def _check_divergence(self, now: float) -> None:
         # The quantity Eq. 5 bounds is the difference in the total number
@@ -346,6 +418,11 @@ class SelectorChannel:
             self.drops[index] += 1
             if self.trace is not None:
                 self.trace.on_drop(now, token.seqno, index)
+            if self._recovering == index:
+                # The respawned generation raced ahead of the healthy
+                # backlog; its copy of this token is gone, so the
+                # healthy interface now owes one more solo delivery.
+                self._handover += 1
             return ("ok", None)
         if self.space[index] == 0:
             return ("full", None)
@@ -381,6 +458,8 @@ class SelectorChannel:
             if self.trace is not None:
                 self.trace.on_drop(now, token.seqno, index)
             self._verify_pair(token.seqno, token.value, now, index)
+        if self._recovering is not None and index != self._recovering:
+            self._maybe_complete_recovery(now)
         if self._m_fill is not None:
             self._sample(now)
         self._check_divergence(now)

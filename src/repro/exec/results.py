@@ -92,6 +92,9 @@ class TaskResult:
     #: Fingerprint of the process that executed the run (``pid`` /
     #: ``host``); cache hits report the original executor.
     worker: Optional[Dict[str, Any]] = None
+    #: Closed-loop recovery summary (``RecoveryManager.as_dict()``) when
+    #: the spec armed a countermeasure manager; ``None`` otherwise.
+    recovery: Optional[Dict[str, Any]] = None
 
     @property
     def token_count(self) -> int:
@@ -184,6 +187,16 @@ def snapshot_for_result(result: TaskResult) -> Dict[str, Any]:
         snap.gauge_sample(
             "task.events_per_sec", result.events / result.wall_time_s
         )
+    if result.recovery:
+        attempts = result.recovery.get("attempts", [])
+        snap.count("recovery.attempts", len(attempts))
+        snap.count("recovery.completed",
+                   int(result.recovery.get("completed", 0)))
+        for attempt in attempts:
+            completed_at = attempt.get("completed_at")
+            detected_at = attempt.get("detected_at")
+            if completed_at is not None and detected_at is not None:
+                snap.observe("recovery.mttr_ms", completed_at - detected_at)
     return snap.as_dict()
 
 

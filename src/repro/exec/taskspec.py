@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple
 from repro.apps import ALL_APPLICATIONS
 from repro.apps.base import AppScale, StreamingApplication
 from repro.faults.models import FaultSpec
+from repro.recovery.spec import RecoverySpec
 from repro.rtc.pjd import PJD
 from repro.rtc.sizing import SizingResult
 
@@ -39,7 +40,8 @@ from repro.rtc.sizing import SizingResult
 #: fields below or to their run semantics: the version participates in
 #: the digest, so old cache entries stop matching automatically.
 #: v2: ``exec_mode`` (step-machine vs generator execution core).
-TASK_SCHEMA_VERSION = 2
+#: v3: ``recovery`` (closed-loop countermeasure manager).
+TASK_SCHEMA_VERSION = 3
 
 #: Valid ``exec_mode`` values (mirrors ``Simulator(exec_mode=...)``).
 EXEC_MODES = ("stepped", "generator")
@@ -131,6 +133,9 @@ class TaskSpec:
     #: by the golden suite), but the mode still participates in the
     #: digest: a cache entry records *how* its bytes were produced.
     exec_mode: str = "stepped"
+    #: Duplicated runs only: arm the closed-loop countermeasure manager
+    #: (:mod:`repro.recovery`) on the detection log.
+    recovery: Optional[RecoverySpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -148,6 +153,8 @@ class TaskSpec:
             self.fault is not None or self.monitor is not None
         ):
             raise TaskSpecError("reference runs take no fault or monitor")
+        if self.kind == KIND_REFERENCE and self.recovery is not None:
+            raise TaskSpecError("reference runs take no recovery spec")
 
     # -- construction ------------------------------------------------------
 
@@ -188,6 +195,7 @@ class TaskSpec:
         validate: bool = False,
         keep_values: bool = False,
         exec_mode: str = "stepped",
+        recovery: Optional[RecoverySpec] = None,
     ) -> "TaskSpec":
         """A duplicated-network run of ``app`` (Figure 1, bottom)."""
         return cls(
@@ -204,6 +212,7 @@ class TaskSpec:
             validate=validate,
             keep_values=keep_values,
             exec_mode=exec_mode,
+            recovery=recovery,
             **_app_fields(app),
         )
 
@@ -371,7 +380,7 @@ def _register_json_types() -> None:
     from repro.faults.models import FaultSpec as _FaultSpec
 
     for cls in (TaskSpec, SyntheticAppSpec, DistanceMonitorSpec, PJD,
-                SizingResult, _FaultSpec):
+                SizingResult, _FaultSpec, RecoverySpec):
         _JSON_TYPES[cls.__name__] = cls
 
 

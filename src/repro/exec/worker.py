@@ -154,6 +154,7 @@ def _execute_duplicated(spec, app, sizing) -> TaskResult:
         selector_stall_detection=spec.selector_stall_detection,
         monitor_factory=monitor_factory,
         exec_mode=spec.exec_mode,
+        recovery=spec.recovery,
     )
     result = TaskResult(
         kind=spec.kind,
@@ -182,6 +183,7 @@ def _execute_duplicated(spec, app, sizing) -> TaskResult:
         result.injected_at = run.injector.injected_at
         result.latency_selector = run.detection_latency("selector")
         result.latency_replicator = run.detection_latency("replicator")
+    result.recovery = run.recovery
     if spec.monitor is not None:
         monitor = run.network.network.process(MONITOR_NAME)
         result.monitor_detections = [

@@ -85,6 +85,9 @@ class DuplicatedRun:
     #: run alone — the same per-run delta the sweep workers ship, so
     #: ``repro report`` shows it for pooled runs too.
     copy_stats: Optional[dict] = None
+    #: Closed-loop recovery summary (``RecoveryManager.as_dict()``) when
+    #: the run armed a countermeasure; ``None`` otherwise.
+    recovery: Optional[dict] = None
 
     def detection_latency(self, site: Optional[str] = None
                           ) -> Optional[float]:
@@ -164,6 +167,7 @@ def run_duplicated(
     exec_mode: Optional[str] = None,
     partitioned: Optional[bool] = None,
     kernel: Optional[str] = None,
+    recovery=None,
 ) -> DuplicatedRun:
     """Build and run the duplicated network to quiescence.
 
@@ -174,7 +178,10 @@ def run_duplicated(
     framework channels.  ``obs`` (a
     :class:`~repro.obs.timeline.Observability`) threads the metrics
     registry through engine and channels, watches the detection log, and
-    captures the process timeline for trace export.
+    captures the process timeline for trace export.  ``recovery`` (a
+    :class:`~repro.recovery.RecoverySpec`) arms the closed-loop
+    countermeasure manager on the detection log — the tolerance half of
+    the paper's lifecycle.
     """
     sizing = sizing or app.sizing()
     blueprint = app.blueprint(
@@ -209,10 +216,16 @@ def run_duplicated(
     )
     if timeline is not None:
         sim.set_transition_hook(timeline.transition)
+    manager = None
+    if recovery is not None:
+        from repro.recovery import RecoveryManager
+
+        manager = RecoveryManager(recovery, blueprint, duplicated)
+        manager.attach(sim)
     injector = None
     if fault is not None:
         injector = FaultInjector(fault, timeline=timeline)
-        injector.arm(sim, duplicated)
+        injector.arm(sim, duplicated, recovery=manager)
     from repro.kpn.tokens import COPY_STATS
 
     copy_before = COPY_STATS.snapshot()
@@ -256,4 +269,5 @@ def run_duplicated(
         stats=stats,
         obs=obs,
         copy_stats=copy_delta,
+        recovery=manager.as_dict() if manager is not None else None,
     )

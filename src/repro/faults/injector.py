@@ -14,7 +14,21 @@ from typing import List, Optional
 
 from repro.core.duplicate import DuplicatedNetwork
 from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.kpn.errors import SimulationError
 from repro.kpn.simulator import Simulator
+
+
+class FaultInjectionError(SimulationError):
+    """A fault was injected into a replica that is already faulty or
+    under recovery.
+
+    The paper's fault model admits one permanent timing fault at a time;
+    silently stacking a second fault onto a condemned (or respawning)
+    replica would corrupt every latency/verdict account downstream, so
+    re-injection fails loudly instead.  Subclassing
+    :class:`SimulationError` means the sweep worker records it as an
+    ordinary failed run (``ok=False`` with a named error).
+    """
 
 
 class FaultInjector:
@@ -31,12 +45,39 @@ class FaultInjector:
         self.timeline = timeline
         self.injected_at: Optional[float] = None
 
-    def arm(self, sim: Simulator, duplicated: DuplicatedNetwork) -> None:
-        """Schedule the fault; call after ``network.instantiate(sim)``."""
+    def arm(self, sim: Simulator, duplicated: DuplicatedNetwork,
+            recovery=None) -> None:
+        """Schedule the fault; call after ``network.instantiate(sim)``.
+
+        ``recovery`` optionally names the run's
+        :class:`~repro.recovery.RecoveryManager`; in such closed-loop
+        runs a set fault flag means a *condemned* replica (detected and
+        awaiting or undergoing its countermeasure), so injection into it
+        — or into one mid-recovery — is refused loudly.  Open-loop runs
+        keep the legacy stacking semantics: the deliberately mis-sized
+        ablations inject into networks whose false-positive detections
+        have already flagged a replica, and that flag is a verdict about
+        the sizing, not a condemned process.
+        """
         victims = duplicated.replicas[self.spec.replica]
         names: List[str] = [p.name for p in victims]
 
         def fire() -> None:
+            replica = self.spec.replica
+            if recovery is not None:
+                condemned = (
+                    duplicated.replicator.fault[replica]
+                    or duplicated.selector.fault[replica]
+                )
+                recovering = recovery.is_recovering(replica)
+                if condemned or recovering:
+                    state = ("recovering" if recovering
+                             else "already faulty")
+                    raise FaultInjectionError(
+                        f"re-injection into replica {replica + 1} at "
+                        f"t={sim.now:.3f} ms: replica is {state} — the "
+                        "single-fault model forbids stacking faults"
+                    )
             self.injected_at = sim.now
             if self.timeline is not None:
                 self.timeline.mark_injection(

@@ -56,6 +56,9 @@ RECORD_TYPES = (
     "campaign-start",
     "scenario-verdict",
     "campaign-end",
+    "mttf-start",
+    "mttf-cycle",
+    "mttf-end",
 )
 
 
@@ -81,6 +84,8 @@ _FLUSH_TYPES = frozenset((
     "sweep-end",
     "campaign-start",
     "campaign-end",
+    "mttf-start",
+    "mttf-end",
 ))
 
 #: Default maximum staleness of buffered hot records, seconds.  A
@@ -213,6 +218,28 @@ class LedgerWriter:
                      ok: bool, stream: Dict[str, Any]) -> None:
         self.emit("campaign-end", digest=digest, verdicts=verdicts,
                   ok=ok, stream=stream)
+
+    def mttf_start(self, seed: int, max_cycles: int,
+                   recovery: Dict[str, Any]) -> None:
+        self.emit("mttf-start", seed=seed, max_cycles=max_cycles,
+                  recovery=recovery)
+
+    def mttf_cycle(self, cycle: int, verdict: str,
+                   ttf_ms: Optional[float], mttr_ms: Optional[float],
+                   availability: Optional[float]) -> None:
+        """One inject→detect→recover cycle; ``availability`` is the
+        running estimate after this cycle."""
+        self.emit("mttf-cycle", cycle=cycle, verdict=verdict,
+                  ttf_ms=ttf_ms, mttr_ms=mttr_ms,
+                  availability=availability)
+
+    def mttf_end(self, cycles: int, mttf_ms: Optional[float],
+                 mttr_ms: Optional[float],
+                 availability: Optional[float], converged: bool,
+                 ok: bool) -> None:
+        self.emit("mttf-end", cycles=cycles, mttf_ms=mttf_ms,
+                  mttr_ms=mttr_ms, availability=availability,
+                  converged=converged, ok=ok)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -407,8 +434,38 @@ def build_status(replay: LedgerReplay) -> Dict[str, Any]:
         campaign["ok"] = end.get("ok")
         campaign["verdicts"] = end.get("verdicts")
 
-    complete = bool(ends) or (
-        not starts and bool(replay.by_type("sweep-end"))
+    mttf: Optional[Dict[str, Any]] = None
+    mttf_starts = replay.by_type("mttf-start")
+    mttf_cycles = replay.by_type("mttf-cycle")
+    if mttf_starts:
+        start = mttf_starts[-1]
+        last_cycle = mttf_cycles[-1] if mttf_cycles else {}
+        mttf = {
+            "seed": start.get("seed"),
+            "max_cycles": start.get("max_cycles"),
+            "cycles": len(mttf_cycles),
+            "availability": last_cycle.get("availability"),
+            "mttf_ms": None,
+            "mttr_ms": None,
+            "converged": None,
+            "ok": None,
+        }
+    mttf_ends = replay.by_type("mttf-end")
+    if mttf_ends:
+        end = mttf_ends[-1]
+        mttf = mttf or {}
+        mttf.update({
+            "cycles": end.get("cycles"),
+            "mttf_ms": end.get("mttf_ms"),
+            "mttr_ms": end.get("mttr_ms"),
+            "availability": end.get("availability"),
+            "converged": end.get("converged"),
+            "ok": end.get("ok"),
+        })
+
+    complete = bool(ends) or bool(mttf_ends) or (
+        not starts and not mttf_starts
+        and bool(replay.by_type("sweep-end"))
     )
 
     eta_s = None
@@ -441,6 +498,7 @@ def build_status(replay: LedgerReplay) -> Dict[str, Any]:
         },
         "verdicts": verdicts,
         "campaign": campaign,
+        "mttf": mttf,
         "workers": workers,
         "percentiles": merged.percentile_digests(),
         "counters": dict(sorted(merged.counters.items())),

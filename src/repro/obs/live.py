@@ -69,6 +69,19 @@ def render_top(status: Dict[str, Any]) -> str:
             + (f"  digest={digest[:16]}" if digest else "")
         )
 
+    mttf = status.get("mttf")
+    if mttf:
+        availability = mttf.get("availability")
+        lines.append(
+            f"  mttf seed={mttf.get('seed')} "
+            f"cycles={mttf.get('cycles')}"
+            + (f"/{mttf['max_cycles']}" if mttf.get("max_cycles") else "")
+            + f"  MTTF={_fmt(mttf.get('mttf_ms'))}ms"
+            f"  MTTR={_fmt(mttf.get('mttr_ms'))}ms"
+            f"  availability={_fmt(availability, '.6f')}"
+            + ("  (converged)" if mttf.get("converged") else "")
+        )
+
     done = progress["finished"]
     total = progress["tasks"]
     pct = progress["done_fraction"]

@@ -1,0 +1,30 @@
+"""Closed-loop recovery: countermeasures, respawn, weakly-hard budgets.
+
+The tolerance half of the paper's detect-and-tolerate lifecycle:
+:class:`RecoverySpec` describes the countermeasure policy,
+:class:`RecoveryManager` executes it against a running duplicated
+network (kill -> quarantine -> re-prime -> handover -> respawn on a
+spare SCC tile), and :mod:`repro.recovery.weakly_hard` accounts the
+recovery transient against an ``(m, k)`` deadline-miss budget.
+"""
+
+from repro.recovery.manager import RecoveryAttempt, RecoveryManager
+from repro.recovery.spec import RecoverySpec
+from repro.recovery.weakly_hard import (
+    WindowAccount,
+    account,
+    miss_flags,
+    satisfies_mk,
+    worst_window,
+)
+
+__all__ = [
+    "RecoveryAttempt",
+    "RecoveryManager",
+    "RecoverySpec",
+    "WindowAccount",
+    "account",
+    "miss_flags",
+    "satisfies_mk",
+    "worst_window",
+]

@@ -1,0 +1,86 @@
+"""Recovery policy specification.
+
+A :class:`RecoverySpec` describes the closed-loop countermeasure a run
+arms on top of detection: whether the faulty replica is respawned on a
+spare core, whether the selector is properly re-primed (the deliberately
+broken variant omits it — campaign self-tests use that to prove the
+post-recovery-equivalence oracle bites), how long the manager waits
+between detection and countermeasure, and the weakly-hard ``(m, k)``
+deadline-miss budget that governs the recovery transient.
+
+The spec is a frozen value object: it is hashed into task digests (cache
+keys, campaign digests), so equality must be structural and stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Countermeasure policy for one duplicated-network run.
+
+    Attributes
+    ----------
+    respawn:
+        Respawn the killed replica as a fresh generation of the critical
+        subnetwork (default).  ``False`` degrades the countermeasure to
+        pure fail-safe isolation: the replica is killed and stays
+        quarantined, no re-prime happens.
+    reprime:
+        Run the selector handover protocol that re-primes the virtual
+        ``space``/``writes`` counters at completion (default).  ``False``
+        is the *deliberately broken* countermeasure — the fault flag is
+        cleared with stale counters, which the post-recovery-equivalence
+        oracle must detect.  Only meaningful with ``respawn=True``.
+    response_ms:
+        Virtual delay between the detection event and the countermeasure
+        (models the SCC management core reacting); >= 0.
+    max_recoveries:
+        Budget of recovery attempts per run; further detections are
+        recorded but not acted upon (prevents a broken countermeasure
+        from re-recovering forever).
+    m, k:
+        Weakly-hard constraint for the recovery transient: at most ``m``
+        deadline misses in any window of ``k`` consecutive output
+        tokens (0 <= m <= k, k >= 1).
+    miss_tolerance_ms:
+        A consumer token counts as a deadline miss when it arrives more
+        than this much later than the same token in the reference run.
+        Fault-free (and cleanly recovered) runs deliver byte-identical
+        consumer schedules, so the default only absorbs float noise.
+    spare_placement:
+        Record an SCC spare-tile placement for the respawned generation
+        (:func:`repro.scc.mapping.place_respawn`).  Bookkeeping only —
+        placement never affects virtual timing.
+    """
+
+    respawn: bool = True
+    reprime: bool = True
+    response_ms: float = 0.0
+    max_recoveries: int = 1
+    m: int = 3
+    k: int = 20
+    miss_tolerance_ms: float = 1e-6
+    spare_placement: bool = True
+
+    def __post_init__(self) -> None:
+        if self.response_ms < 0:
+            raise ValueError("response_ms must be >= 0")
+        if self.max_recoveries < 1:
+            raise ValueError("max_recoveries must be >= 1")
+        if self.k < 1:
+            raise ValueError("weakly-hard k must be >= 1")
+        if not 0 <= self.m <= self.k:
+            raise ValueError("weakly-hard m must satisfy 0 <= m <= k")
+        if self.miss_tolerance_ms < 0:
+            raise ValueError("miss_tolerance_ms must be >= 0")
+        if self.reprime is False and self.respawn is False:
+            raise ValueError(
+                "reprime=False (broken countermeasure) requires respawn"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (stable key order via sorted dumps)."""
+        return asdict(self)

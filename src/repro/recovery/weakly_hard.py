@@ -1,0 +1,124 @@
+"""Weakly-hard ``(m, k)`` accounting over consumer schedules.
+
+Leveraging Weakly-hard Constraints (see PAPERS.md): instead of demanding
+zero deadline misses through a recovery transient, the budget admits at
+most ``m`` misses in any window of ``k`` consecutive output tokens.
+
+A *miss* is defined against the reference run: token ``i`` of the
+duplicated consumer missed iff it arrived more than ``tolerance_ms``
+later than token ``i`` of the reference consumer.  Fault-free runs (and
+cleanly recovered ones) produce byte-identical consumer schedules — the
+demand-paced consumer reads at its own release instants whenever the
+selector FIFO is non-empty — so a clean run accounts to zero misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def miss_flags(
+    reference_times: Sequence[float],
+    duplicated_times: Sequence[float],
+    tolerance_ms: float = 1e-6,
+) -> List[bool]:
+    """Per-token miss flags over the common prefix of the two schedules."""
+    return [
+        d > r + tolerance_ms
+        for r, d in zip(reference_times, duplicated_times)
+    ]
+
+
+def worst_window(flags: Sequence[bool], k: int) -> int:
+    """Maximum number of misses in any window of ``k`` consecutive tokens.
+
+    For fewer than ``k`` tokens the single (shorter) window is used —
+    a constraint over windows that never existed is vacuously about the
+    tokens that did arrive.
+    """
+    if k < 1:
+        raise ValueError("window size k must be >= 1")
+    if not flags:
+        return 0
+    window = min(k, len(flags))
+    current = sum(flags[:window])
+    worst = current
+    for i in range(window, len(flags)):
+        current += flags[i] - flags[i - window]
+        if current > worst:
+            worst = current
+    return worst
+
+
+def satisfies_mk(flags: Sequence[bool], m: int, k: int) -> bool:
+    """True iff no ``k``-window contains more than ``m`` misses."""
+    return worst_window(flags, k) <= m
+
+
+@dataclass
+class WindowAccount:
+    """The full weakly-hard account of one recovery run."""
+
+    misses: int
+    worst_window: int
+    m: int
+    k: int
+    tolerance_ms: float
+    #: Arrival instants (duplicated run) of every missed token.
+    miss_times: List[float] = field(default_factory=list)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.worst_window <= self.m
+
+    def confined_to(self, start: Optional[float],
+                    end: Optional[float]) -> bool:
+        """True iff every miss manifested inside ``[start, end]``.
+
+        ``start=None`` means no fault was injected (any miss is
+        unconfined); ``end=None`` means recovery never completed (misses
+        after the fault are admissible through the end of the run).
+        """
+        if not self.miss_times:
+            return True
+        if start is None:
+            return False
+        for time in self.miss_times:
+            if time < start - 1e-9:
+                return False
+            if end is not None and time > end + 1e-9:
+                return False
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "misses": self.misses,
+            "worst_window": self.worst_window,
+            "m": self.m,
+            "k": self.k,
+            "tolerance_ms": self.tolerance_ms,
+            "within_budget": self.within_budget,
+            "miss_times": list(self.miss_times),
+        }
+
+
+def account(
+    reference_times: Sequence[float],
+    duplicated_times: Sequence[float],
+    m: int,
+    k: int,
+    tolerance_ms: float = 1e-6,
+) -> WindowAccount:
+    """Build the :class:`WindowAccount` of one (reference, duplicated)
+    consumer-schedule pair."""
+    flags = miss_flags(reference_times, duplicated_times, tolerance_ms)
+    times = [t for t, missed in zip(duplicated_times, flags) if missed]
+    return WindowAccount(
+        misses=sum(flags),
+        worst_window=worst_window(flags, k),
+        m=m,
+        k=k,
+        tolerance_ms=tolerance_ms,
+        miss_times=times,
+    )

@@ -24,6 +24,7 @@ from repro.scc.chip import SccChip, SccConfig
 from repro.scc.mapping import (
     Mapping,
     low_contention_mapping,
+    place_respawn,
     route_overlap,
 )
 from repro.scc.contention import ContentionModel, LinkState
@@ -44,6 +45,7 @@ __all__ = [
     "SccConfig",
     "Mapping",
     "low_contention_mapping",
+    "place_respawn",
     "route_overlap",
     "RcceComm",
     "ContentionModel",

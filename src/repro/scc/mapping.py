@@ -98,6 +98,74 @@ def low_contention_mapping(
     return mapping
 
 
+def place_respawn(
+    mapping: Mapping,
+    processes: Sequence[str],
+    channels: Sequence[ChannelSpec],
+    mesh: Optional[Mesh] = None,
+) -> Dict[str, int]:
+    """Place late-spawned (respawned) processes on spare tiles.
+
+    Extends an existing ``mapping`` in-place: each new process, in the
+    given order, goes to the free tile that minimises the incremental
+    route contention of its channels against the links already committed
+    by the resident placement (route length breaks ties, then tile id —
+    fully deterministic).  Channels whose other endpoint is not mapped
+    yet (e.g. toward a process placed later in ``processes``) are
+    costed when that endpoint lands.  Raises :class:`ValueError` when
+    the mesh has no spare tile left.  Returns ``{name: core id}`` for
+    the newly placed processes.
+    """
+    mesh = mesh or Mesh(mapping.topology)
+    topology = mapping.topology
+    used = set(mapping.used_tiles())
+    link_use: Counter = Counter()
+    for src, dst in channels:
+        if src in mapping and dst in mapping:
+            for link in mesh.link_segments(
+                mapping.tile_of(src), mapping.tile_of(dst)
+            ):
+                link_use[link] += 1
+
+    placed: Dict[str, int] = {}
+    for process in processes:
+        if process in mapping:
+            raise ValueError(f"process {process} is already placed")
+        free = [t for t in range(topology.tile_count) if t not in used]
+        if not free:
+            raise ValueError(
+                f"no spare tile left for {process} "
+                f"({topology.tile_count} tiles occupied)"
+            )
+        best_tile = None
+        best_cost = None
+        for tile in free:
+            cost = 0.0
+            for src, dst in channels:
+                if src == process and dst in mapping:
+                    links = mesh.link_segments(tile, mapping.tile_of(dst))
+                elif dst == process and src in mapping:
+                    links = mesh.link_segments(mapping.tile_of(src), tile)
+                else:
+                    continue
+                cost += 1000 * sum(link_use[link] for link in links)
+                cost += len(links)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_tile = tile
+        used.add(best_tile)
+        core = best_tile * topology.cores_per_tile
+        mapping.assignment[process] = core
+        placed[process] = core
+        for src, dst in channels:
+            if process in (src, dst) and src in mapping and dst in mapping:
+                for link in mesh.link_segments(
+                    mapping.tile_of(src), mapping.tile_of(dst)
+                ):
+                    link_use[link] += 1
+    return placed
+
+
 def _total_cost(mapping: Mapping, channels: Sequence[ChannelSpec],
                 mesh: Mesh) -> Tuple[int, int]:
     """(overlap, total route length) of a complete mapping."""

@@ -151,7 +151,7 @@ class TestExecution:
                                 shrink=True, max_shrink_runs=6)
         messages = []
         result = run_campaign(config, progress=messages.append)
-        assert len(result.outcomes) == 2
+        assert len(result.outcomes) == 3
         assert all(o.verdict == VERDICT_EXPECTED for o in result.outcomes)
         assert result.ok  # self-tests pass by violating
         # Every violated outcome gets a shrink entry keyed by its digest.
@@ -160,7 +160,22 @@ class TestExecution:
             shrink = result.shrunk[outcome.digest]
             assert shrink.runs <= 6
             assert shrink.target_oracles
-        assert any("generated 2 scenarios" in m for m in messages)
+        assert any("generated 3 scenarios" in m for m in messages)
+
+    def test_broken_countermeasure_self_test_trips_recovery_oracle(self):
+        # Satellite of the recovery battery: the generator's broken
+        # countermeasure self-test must be caught by the post-recovery-
+        # equivalence oracle specifically — not by collateral damage.
+        from repro.campaign.scenario import ScenarioGenerator
+
+        [broken] = [t for t in ScenarioGenerator(seed=7).self_tests()
+                    if t.recovery is not None]
+        assert not broken.recovery.reprime
+        reference, duplicated = run_scenario(broken)
+        outcome = evaluate_scenario(broken, reference, duplicated)
+        assert outcome.verdict == VERDICT_EXPECTED
+        assert outcome.passed
+        assert "recovery" in {v.oracle for v in outcome.violations}
 
     def test_oracle_subset_respected(self):
         config = CampaignConfig(seed=7, budget=0, self_tests=True,

@@ -234,6 +234,139 @@ class TestEquivalence:
         assert "stalled" in violations[0].message
 
 
+class TestRecovery:
+    """The post-recovery-equivalence oracle, path by path."""
+
+    def _attempt(self, detected_at=330.0, completed_at=340.0, replica=0):
+        return {"replica": replica, "detected_at": detected_at,
+                "completed_at": completed_at}
+
+    def _recovery_scenario(self, **kwargs):
+        from repro.recovery import RecoverySpec
+
+        defaults = dict(fault=FAULT, recovery=RecoverySpec())
+        defaults.update(kwargs)
+        return _scenario(**defaults)
+
+    def _judge(self, scenario, duplicated, reference_times=()):
+        reference = _result(kind="reference",
+                            times=list(reference_times))
+        return ORACLES["recovery"](
+            _ctx(scenario, duplicated, reference=reference)
+        )
+
+    def test_stands_down_without_a_spec(self):
+        recovered = _result(recovery={"attempts": [self._attempt()]})
+        assert self._judge(_scenario(fault=FAULT), recovered) == []
+
+    def test_clean_recovery_passes(self):
+        times = [400.0, 410.0, 420.0]
+        recovered = _result(
+            injected_at=310.0,
+            times=list(times),
+            detections=[DetectionRecord(time=330.0, site="selector",
+                                        replica=0,
+                                        mechanism="divergence")],
+            recovery={"attempts": [self._attempt()], "completed": 1},
+        )
+        assert self._judge(self._recovery_scenario(), recovered,
+                           reference_times=times) == []
+
+    def test_fault_free_countermeasure_is_a_violation(self):
+        spurious = _result(recovery={"attempts": [self._attempt()]})
+        violations = self._judge(
+            self._recovery_scenario(fault=None), spurious
+        )
+        assert len(violations) == 1
+        assert "fault-free" in violations[0].message
+
+    def test_fault_without_countermeasure_is_a_violation(self):
+        silent = _result(injected_at=310.0, recovery={"attempts": []})
+        violations = self._judge(self._recovery_scenario(), silent)
+        assert len(violations) == 1
+        assert "never triggered" in violations[0].message
+
+    def test_isolation_policy_has_no_post_recovery_regime(self):
+        from repro.recovery import RecoverySpec
+
+        isolated = _result(
+            injected_at=310.0,
+            recovery={"attempts": [self._attempt(completed_at=None)]},
+        )
+        scenario = self._recovery_scenario(
+            recovery=RecoverySpec(respawn=False)
+        )
+        assert self._judge(scenario, isolated) == []
+
+    def test_unfinished_recovery_is_a_violation(self):
+        hung = _result(
+            injected_at=310.0,
+            recovery={"attempts": [self._attempt(completed_at=None)]},
+        )
+        violations = self._judge(self._recovery_scenario(), hung)
+        assert len(violations) == 1
+        assert "never completed" in violations[0].message
+
+    def test_detection_after_completion_is_a_violation(self):
+        relapsed = _result(
+            injected_at=310.0,
+            detections=[
+                DetectionRecord(time=330.0, site="selector", replica=0,
+                                mechanism="divergence"),
+                DetectionRecord(time=500.0, site="selector", replica=0,
+                                mechanism="stall"),
+            ],
+            recovery={"attempts": [self._attempt()]},
+        )
+        violations = self._judge(self._recovery_scenario(), relapsed)
+        assert len(violations) == 1
+        assert "not" in violations[0].message
+        assert "re-established" in violations[0].message
+
+    def test_diverged_stream_after_recovery_is_a_violation(self):
+        mutated = _result(
+            injected_at=310.0,
+            hashes=("h1", "hX", "h3"),
+            recovery={"attempts": [self._attempt()]},
+        )
+        violations = self._judge(self._recovery_scenario(), mutated)
+        assert len(violations) == 1
+        assert "reference" in violations[0].message
+
+    def test_weakly_hard_budget_enforced(self):
+        from repro.recovery import RecoverySpec
+
+        # One miss inside the recovery window, zero-budget constraint.
+        late = _result(
+            injected_at=310.0,
+            times=[330.0],
+            recovery={"attempts": [self._attempt()]},
+        )
+        scenario = self._recovery_scenario(
+            recovery=RecoverySpec(m=0, k=5)
+        )
+        violations = self._judge(scenario, late, reference_times=[320.0])
+        assert len(violations) == 1
+        assert "weakly-hard budget" in violations[0].message
+
+    def test_miss_outside_recovery_window_is_a_violation(self):
+        # Within the (m, k) budget but *after* completion: the transient
+        # leaked into the post-recovery regime.
+        leaked = _result(
+            injected_at=310.0,
+            times=[400.0, 455.0],
+            recovery={"attempts": [self._attempt()]},
+        )
+        violations = self._judge(self._recovery_scenario(), leaked,
+                                 reference_times=[400.0, 450.0])
+        assert len(violations) == 1
+        assert "outside the recovery window" in violations[0].message
+
+    def test_stands_down_on_aborted_run(self):
+        broken = _result(ok=False, error="boom", hashes=())
+        assert self._judge(self._recovery_scenario(), broken) == []
+
+
 class TestSelection:
     def test_default_is_all(self):
         assert oracles_by_name(None) == ALL_ORACLES

@@ -160,8 +160,13 @@ class TestGenerator:
 
     def test_self_tests_expect_violation(self):
         tests = ScenarioGenerator(seed=7).self_tests()
-        assert {t.missize for t in tests} == {MISSIZE_THRESHOLD,
-                                              MISSIZE_CAPACITY}
+        missized = [t for t in tests if t.missize is not None]
+        assert {t.missize for t in missized} == {MISSIZE_THRESHOLD,
+                                                 MISSIZE_CAPACITY}
+        broken = [t for t in tests if t.recovery is not None]
+        assert len(broken) == 1
+        assert broken[0].fault is not None
+        assert not broken[0].recovery.reprime
         assert all(t.expect_violation for t in tests)
         assert all(t.index < 0 for t in tests)
 

@@ -27,59 +27,82 @@ from repro.apps.synthetic import SyntheticApp
 from repro.experiments.runner import fault_time_for, run_duplicated
 from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
 from repro.kpn.tracefile import recorder_to_dict
+from repro.recovery import RecoverySpec
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden_traces")
 
 
 def _scenarios():
-    """The five seeded scenarios, built fresh per call.
+    """The seeded scenarios, built fresh per call.
 
+    Each builder returns ``(app, tokens, seed, fault, recovery)``.
     Names are the golden file stems; keep them stable.
     """
 
     def mjpeg_clean():
-        return MjpegDecoderApp(seed=77), 40, 4, None
+        return MjpegDecoderApp(seed=77), 40, 4, None, None
 
     def mjpeg_failstop():
         app = MjpegDecoderApp(seed=13)
         fault = FaultSpec(replica=0,
                           time=fault_time_for(app, 25, phase=0.55),
                           kind=FAIL_STOP)
-        return app, 45, 9, fault
+        return app, 45, 9, fault, None
+
+    def mjpeg_recovery():
+        # The closed loop on the paper's flagship codec: fail-stop,
+        # countermeasure, respawned generation — all on the golden path.
+        app = MjpegDecoderApp(seed=13)
+        fault = FaultSpec(replica=0,
+                          time=fault_time_for(app, 25, phase=0.55),
+                          kind=FAIL_STOP)
+        return app, 45, 9, fault, RecoverySpec()
 
     def synthetic_clean():
-        return SyntheticApp(seed=5), 60, 5, None
+        return SyntheticApp(seed=5), 60, 5, None, None
 
     def synthetic_bursty():
-        return SyntheticApp.bursty(seed=3), 60, 3, None
+        return SyntheticApp.bursty(seed=3), 60, 3, None, None
 
     def synthetic_degrade():
         app = SyntheticApp(seed=8)
         fault = FaultSpec(replica=1,
                           time=fault_time_for(app, 30, phase=0.42),
                           kind=RATE_DEGRADE, slowdown=5.0)
-        return app, 70, 8, fault
+        return app, 70, 8, fault, None
 
     def h264_clean():
         # Pins the third codec (Table 1's H.264 encoder) on the event
         # engine: full encode pipeline, paced exits, no fault.
-        return H264EncoderApp(seed=11), 18, 6, None
+        return H264EncoderApp(seed=11), 18, 6, None, None
 
     def adpcm_failstop():
         app = AdpcmApp(seed=21)
         fault = FaultSpec(replica=1,
                           time=fault_time_for(app, 35, phase=0.48),
                           kind=FAIL_STOP)
-        return app, 55, 7, fault
+        return app, 55, 7, fault, None
+
+    def adpcm_recovery():
+        # Recovery with a response delay on the second codec: the
+        # countermeasure instant lands between token events, pinning the
+        # scheduler interleave of respawn against a live stream.
+        app = AdpcmApp(seed=21)
+        fault = FaultSpec(replica=1,
+                          time=fault_time_for(app, 35, phase=0.48),
+                          kind=FAIL_STOP)
+        return app, 55, 7, fault, RecoverySpec(response_ms=3.0)
 
     return {
         "mjpeg_clean": mjpeg_clean,
         "mjpeg_failstop": mjpeg_failstop,
+        "mjpeg_recovery": mjpeg_recovery,
         "synthetic_clean": synthetic_clean,
         "synthetic_bursty": synthetic_bursty,
         "synthetic_degrade": synthetic_degrade,
         "h264_clean": h264_clean,
         "adpcm_failstop": adpcm_failstop,
+        "adpcm_recovery": adpcm_recovery,
     }
 
 
@@ -89,10 +112,10 @@ def _trace_bytes(builder, obs=None, **run_kwargs) -> bytes:
     ``run_kwargs`` select the engine configuration under test
     (``exec_mode`` / ``partitioned`` / ``kernel``).
     """
-    app, tokens, seed, fault = builder()
+    app, tokens, seed, fault, recovery = builder()
     run = run_duplicated(app, tokens, seed, fault=fault,
                          sizing=app.sizing(), record_events=True, obs=obs,
-                         **run_kwargs)
+                         recovery=recovery, **run_kwargs)
     payload = recorder_to_dict(run.network.network.recorder)
     # Canonical form: sorted keys, repr-exact floats, no whitespace
     # variation — byte-identity then means event-stream identity.
@@ -133,6 +156,20 @@ def test_telemetry_does_not_perturb_traces(name, enabled):
         f"({'enabled' if enabled else 'disabled'} registry) perturbed the "
         "event stream"
     )
+
+
+def test_recovery_goldens_pin_a_completed_countermeasure():
+    """The recovery goldens are only meaningful if the countermeasure
+    actually ran to completion inside the captured window — otherwise
+    byte-identity would pin a silent no-op."""
+    for name in ("mjpeg_recovery", "adpcm_recovery"):
+        app, tokens, seed, fault, recovery = _scenarios()[name]()
+        run = run_duplicated(app, tokens, seed, fault=fault,
+                             sizing=app.sizing(), record_events=True,
+                             recovery=recovery)
+        assert run.recovery["completed"] == 1, name
+        [attempt] = run.recovery["attempts"]
+        assert attempt["respawned"], name
 
 
 def test_repeated_runs_are_byte_identical():

@@ -1,0 +1,8 @@
+"""Recovery suite configuration.
+
+Re-uses the Hypothesis example-count policy of the property suite: the
+``ci``/``thorough`` profiles are registered (and loaded) on import, so
+recovery properties scale with the same single knob.
+"""
+
+from tests.properties import conftest as _profiles  # noqa: F401

@@ -1,0 +1,150 @@
+"""Re-injection guard: stacking faults onto a condemned replica fails loudly.
+
+The single-fault model admits one permanent timing fault at a time.  In a
+closed-loop run (a :class:`RecoveryManager` armed) a set fault flag means
+a condemned replica, so a second injection into it — or into one whose
+countermeasure is still in flight — raises
+:class:`~repro.faults.injector.FaultInjectionError`.  Open-loop runs keep
+the legacy stacking semantics: the deliberately mis-sized ablations
+inject into networks whose false-positive detections have already
+flagged a replica, and that flag is a sizing verdict, not a dead process.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import fault_time_for, run_duplicated
+from repro.faults.injector import FaultInjectionError, FaultInjector
+from repro.faults.models import FAIL_STOP, FaultSpec
+from repro.kpn.errors import SimulationError
+from repro.recovery import RecoverySpec
+
+TOKENS = 70
+WARMUP = 25
+SEED = 11
+
+
+class _SimStub:
+    """Just enough simulator for ``arm``/``fire``: a schedule that the
+    test fires by hand, and a clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.scheduled = []
+        self.killed = []
+
+    def schedule_at(self, time, callback):
+        self.scheduled.append((time, callback))
+
+    def kill(self, name):
+        self.killed.append(name)
+
+    def fire_all(self):
+        for time, callback in self.scheduled:
+            self.now = time
+            callback()
+
+
+def _dup_stub():
+    return SimpleNamespace(
+        replicas={0: [], 1: []},
+        replicator=SimpleNamespace(fault=[False, False]),
+        selector=SimpleNamespace(fault=[False, False]),
+    )
+
+
+def _manager_stub(recovering=False):
+    return SimpleNamespace(is_recovering=lambda replica: recovering)
+
+
+class TestGuardConditions:
+    def test_closed_loop_condemned_replica_raises(self):
+        sim, dup = _SimStub(), _dup_stub()
+        dup.selector.fault[0] = True
+        injector = FaultInjector(FaultSpec(replica=0, time=5.0,
+                                           kind=FAIL_STOP))
+        injector.arm(sim, dup, recovery=_manager_stub())
+        with pytest.raises(FaultInjectionError, match="already faulty"):
+            sim.fire_all()
+        assert injector.injected_at is None
+
+    def test_closed_loop_recovering_replica_raises(self):
+        sim, dup = _SimStub(), _dup_stub()
+        injector = FaultInjector(FaultSpec(replica=1, time=5.0,
+                                           kind=FAIL_STOP))
+        injector.arm(sim, dup, recovery=_manager_stub(recovering=True))
+        with pytest.raises(FaultInjectionError, match="recovering"):
+            sim.fire_all()
+
+    def test_open_loop_flagged_replica_still_injects(self):
+        # The mis-sized ablations depend on this: false positives set
+        # the flag long before the single legitimate injection.
+        sim, dup = _SimStub(), _dup_stub()
+        dup.selector.fault[0] = True
+        dup.replicator.fault[0] = True
+        injector = FaultInjector(FaultSpec(replica=0, time=5.0,
+                                           kind=FAIL_STOP))
+        injector.arm(sim, dup, recovery=None)
+        sim.fire_all()
+        assert injector.injected_at == 5.0
+
+    def test_guard_error_is_a_recorded_run_failure(self):
+        # Sweep workers record SimulationError subclasses as ordinary
+        # failed runs (ok=False) rather than crashing the pool.
+        assert issubclass(FaultInjectionError, SimulationError)
+
+
+class TestEndToEnd:
+    def _double_fault(self, recovery, extra_response_ms=0.0):
+        """Run the real network with two armed injectors, the second one
+        landing after the first is guaranteed detected (past the Eq. 8
+        bounds) but before its countermeasure can complete."""
+        from repro.core.duplicate import build_duplicated
+        from repro.recovery import RecoveryManager
+
+        app = SyntheticApp()
+        sizing = app.sizing()
+        blueprint = app.blueprint(
+            TOKENS, TOKENS + sizing.selector_priming, seed=SEED
+        )
+        dup = build_duplicated(blueprint, sizing)
+        sim = dup.network.instantiate()
+        manager = RecoveryManager(recovery, blueprint, dup)
+        manager.attach(sim)
+        first = fault_time_for(app, WARMUP)
+        gap = max(sizing.selector_detection_bound,
+                  sizing.replicator_detection_bound) + 2 * app.period_ms
+        for time in (first, first + gap + extra_response_ms / 2):
+            FaultInjector(
+                FaultSpec(replica=0, time=time, kind=FAIL_STOP)
+            ).arm(sim, dup, recovery=manager)
+        return sim
+
+    def test_reinjection_during_recovery_raises(self):
+        # A response delay far beyond the second injection instant keeps
+        # the countermeasure in flight when that injection lands.
+        sim = self._double_fault(RecoverySpec(response_ms=500.0),
+                                 extra_response_ms=500.0)
+        with pytest.raises(FaultInjectionError, match="recovering"):
+            sim.run(max_events=TOKENS * 400)
+
+    def test_reinjection_into_quarantined_replica_raises(self):
+        # Fail-safe isolation never clears the flag: any later
+        # injection stacks onto a condemned replica.
+        sim = self._double_fault(RecoverySpec(respawn=False))
+        with pytest.raises(FaultInjectionError, match="already faulty"):
+            sim.run(max_events=TOKENS * 400)
+
+    def test_single_fault_with_recovery_never_trips_the_guard(self):
+        # Regression: a clean closed-loop run (one fault, working
+        # countermeasure) must sail through the guard.
+        app = SyntheticApp()
+        run = run_duplicated(
+            app, TOKENS, SEED,
+            fault=FaultSpec(replica=0, time=fault_time_for(app, WARMUP),
+                            kind=FAIL_STOP),
+            recovery=RecoverySpec(),
+        )
+        assert run.recovery["completed"] == 1

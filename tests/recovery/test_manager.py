@@ -1,0 +1,145 @@
+"""RecoveryManager end-to-end: kill, respawn, re-prime, hand over.
+
+Every test runs the real duplicated network through the runner with a
+real injected fault — no fakes — because the countermeasure's claims
+(post-recovery equivalence, counter re-priming, Theorem 2 silence after
+completion) are properties of the whole closed loop.
+"""
+
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import (
+    fault_time_for,
+    run_duplicated,
+    run_reference,
+)
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.recovery import RecoverySpec
+from repro.recovery.weakly_hard import account
+
+TOKENS = 70
+WARMUP = 25
+SEED = 11
+
+
+def _fault(app, replica=0, kind=FAIL_STOP, slowdown=1.0):
+    return FaultSpec(replica=replica, time=fault_time_for(app, WARMUP),
+                     kind=kind, slowdown=slowdown)
+
+
+def _run_pair(app=None, recovery=RecoverySpec(), **fault_kwargs):
+    app = app or SyntheticApp()
+    reference = run_reference(app, TOKENS, SEED)
+    duplicated = run_duplicated(
+        app, TOKENS, SEED, fault=_fault(app, **fault_kwargs),
+        recovery=recovery,
+    )
+    return reference, duplicated
+
+
+class TestCleanRecovery:
+    def test_fail_stop_recovers_to_reference_equivalence(self):
+        reference, run = _run_pair()
+        [attempt] = run.recovery["attempts"]
+        assert run.recovery["completed"] == 1
+        assert attempt["completed_at"] is not None
+        # Theorem 2 re-established: the full consumer stream — values
+        # *and* instants — is byte-identical to the reference network.
+        assert run.values == reference.values
+        assert run.times == reference.times
+        assert run.stalls == 0
+
+    def test_rate_degrade_recovers_too(self):
+        reference, run = _run_pair(kind=RATE_DEGRADE, slowdown=4.0)
+        assert run.recovery["completed"] == 1
+        assert run.values == reference.values
+        assert run.times == reference.times
+
+    def test_weakly_hard_account_is_empty(self):
+        spec = RecoverySpec()
+        reference, run = _run_pair(recovery=spec)
+        acct = account(reference.times, run.times, spec.m, spec.k,
+                       spec.miss_tolerance_ms)
+        assert acct.misses == 0
+        assert acct.within_budget
+
+    def test_counters_reprimed_and_flags_cleared(self):
+        _, run = _run_pair()
+        dup = run.network
+        assert dup.selector.fault == [False, False]
+        assert dup.replicator.fault == [False, False]
+
+    def test_no_detection_after_completion(self):
+        _, run = _run_pair()
+        completed_at = run.recovery["attempts"][0]["completed_at"]
+        assert all(d.time <= completed_at + 1e-6 for d in run.detections)
+
+    def test_respawned_generation_is_named_and_placed(self):
+        _, run = _run_pair(replica=1)
+        [attempt] = run.recovery["attempts"]
+        assert attempt["replica"] == 1
+        assert attempt["generation"] == 1
+        assert attempt["killed"]  # the condemned generation
+        assert attempt["respawned"]
+        assert all(name.startswith("R2r1") for name in attempt["respawned"])
+        # Spare-tile bookkeeping: every respawned process got a core.
+        assert set(attempt["spare_cores"]) == set(attempt["respawned"])
+
+    def test_handover_and_flush_recorded(self):
+        _, run = _run_pair()
+        [attempt] = run.recovery["attempts"]
+        assert attempt["handover"] is not None and attempt["handover"] > 0
+        assert attempt["flushed"] is not None and attempt["flushed"] >= 0
+        assert attempt["countermeasure_at"] >= attempt["detected_at"]
+        assert attempt["completed_at"] >= attempt["countermeasure_at"]
+
+    def test_response_delay_defers_the_countermeasure(self):
+        _, run = _run_pair(recovery=RecoverySpec(response_ms=25.0))
+        [attempt] = run.recovery["attempts"]
+        assert attempt["countermeasure_at"] >= (
+            attempt["detected_at"] + 25.0 - 1e-9
+        )
+
+
+class TestDeterminism:
+    def test_recovery_runs_replay_exactly(self):
+        first_ref, first = _run_pair()
+        second_ref, second = _run_pair()
+        assert first.recovery == second.recovery
+        assert first.values == second.values
+        assert first.times == second.times
+        assert [(d.time, d.site, d.replica, d.mechanism)
+                for d in first.detections] == [
+            (d.time, d.site, d.replica, d.mechanism)
+            for d in second.detections
+        ]
+
+
+class TestDegradedPolicies:
+    def test_isolation_only_keeps_the_stream_but_never_completes(self):
+        reference, run = _run_pair(recovery=RecoverySpec(respawn=False))
+        [attempt] = run.recovery["attempts"]
+        assert attempt["completed_at"] is None
+        assert attempt["respawned"] == []
+        assert run.recovery["completed"] == 0
+        # Quarantine still protects the output stream: the healthy
+        # replica delivers the reference values solo.
+        assert run.values == reference.values
+
+    def test_broken_countermeasure_is_caught_after_completion(self):
+        # reprime=False clears the fault flag with stale counters; the
+        # stale ``space`` then drifts past the capacity bound and the
+        # post-completion stall detection exposes the bug — the signal
+        # the campaign's post-recovery-equivalence oracle keys on.
+        _, run = _run_pair(recovery=RecoverySpec(reprime=False))
+        attempts = run.recovery["attempts"]
+        assert attempts[0]["completed_at"] is not None
+        assert not attempts[0]["reprimed"]
+        completed_at = attempts[0]["completed_at"]
+        assert any(d.time > completed_at + 1e-6 for d in run.detections)
+
+    def test_recovery_budget_caps_attempts(self):
+        # The broken countermeasure provokes post-completion detections;
+        # with the default budget of one they must NOT re-recover.
+        _, run = _run_pair(recovery=RecoverySpec(reprime=False,
+                                                 max_recoveries=1))
+        assert len(run.recovery["attempts"]) == 1

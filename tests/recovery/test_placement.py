@@ -1,0 +1,68 @@
+"""Spare-tile placement for respawned generations on the 6x4 SCC mesh."""
+
+import pytest
+
+from repro.scc.geometry import TOPOLOGY
+from repro.scc.mapping import (
+    low_contention_mapping,
+    place_respawn,
+    route_overlap,
+)
+
+#: Figure 1 duplicated topology as (process, channel) lists.
+PROCESSES = ["P", "R1/stage", "R2/stage", "C"]
+CHANNELS = [
+    ("P", "R1/stage"), ("P", "R2/stage"),
+    ("R1/stage", "C"), ("R2/stage", "C"),
+]
+
+
+def _baseline():
+    return low_contention_mapping(PROCESSES, CHANNELS)
+
+
+class TestPlaceRespawn:
+    def test_respawn_lands_on_a_spare_tile(self):
+        mapping = _baseline()
+        used_before = set(mapping.used_tiles())
+        edges = CHANNELS + [("P", "R1r1/stage"), ("R1r1/stage", "C")]
+        placed = place_respawn(mapping, ["R1r1/stage"], edges)
+        assert set(placed) == {"R1r1/stage"}
+        tile = placed["R1r1/stage"] // mapping.topology.cores_per_tile
+        assert tile not in used_before
+        assert "R1r1/stage" in mapping  # mapping extended in place
+
+    def test_placement_is_deterministic(self):
+        edges = CHANNELS + [("P", "R1r1/stage"), ("R1r1/stage", "C")]
+        first = place_respawn(_baseline(), ["R1r1/stage"], edges)
+        second = place_respawn(_baseline(), ["R1r1/stage"], edges)
+        assert first == second
+
+    def test_respawn_does_not_worsen_resident_contention(self):
+        mapping = _baseline()
+        before = route_overlap(mapping, CHANNELS)
+        edges = CHANNELS + [("P", "R1r1/stage"), ("R1r1/stage", "C")]
+        place_respawn(mapping, ["R1r1/stage"], edges)
+        # Resident channels are untouched — only the new process moved.
+        assert route_overlap(mapping, CHANNELS) == before
+
+    def test_already_placed_process_rejected(self):
+        mapping = _baseline()
+        with pytest.raises(ValueError):
+            place_respawn(mapping, ["P"], CHANNELS)
+
+    def test_full_mesh_raises(self):
+        names = [f"p{i}" for i in range(TOPOLOGY.tile_count)]
+        mapping = low_contention_mapping(names, [])
+        with pytest.raises(ValueError, match="no spare tile"):
+            place_respawn(mapping, ["late"], [])
+
+    def test_successive_generations_get_distinct_tiles(self):
+        mapping = _baseline()
+        edges = list(CHANNELS)
+        cores = []
+        for generation in (1, 2, 3):
+            name = f"R1r{generation}/stage"
+            edges += [("P", name), (name, "C")]
+            cores.append(place_respawn(mapping, [name], edges)[name])
+        assert len(set(cores)) == 3

@@ -1,0 +1,91 @@
+"""Hypothesis properties of the closed-loop countermeasure.
+
+Randomized Figure 1 applications (shared ``network_models`` strategy),
+injection sites, kinds, phases and response delays — each example runs
+the real reference and duplicated networks through the runner and checks
+the recovery contract end to end.  Example counts come from the shared
+``ci``/``thorough`` profiles; tests do not pin ``max_examples``.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import SyntheticApp
+from repro.experiments.runner import run_duplicated, run_reference
+from repro.faults.models import FAIL_STOP, RATE_DEGRADE, FaultSpec
+from repro.recovery import RecoverySpec
+from repro.recovery.weakly_hard import account
+from tests.properties.strategies import network_models
+
+TOKENS = 60
+WARMUP = 20
+
+replicas = st.integers(min_value=0, max_value=1)
+#: Injection instant as a fraction of a period past the warmup release.
+phases = st.floats(min_value=0.05, max_value=0.95)
+seeds = st.integers(min_value=0, max_value=9999)
+
+
+def _run_pair(models, replica, kind, phase, seed, recovery):
+    producer, replica_models, consumer = models
+    app = SyntheticApp(producer=producer, replicas=replica_models,
+                       consumer=consumer)
+    fault = FaultSpec(
+        replica=replica,
+        time=(WARMUP + phase) * app.producer_model.period,
+        kind=kind,
+        slowdown=4.0 if kind == RATE_DEGRADE else 1.0,
+    )
+    reference = run_reference(app, TOKENS, seed)
+    duplicated = run_duplicated(app, TOKENS, seed, fault=fault,
+                                recovery=recovery)
+    return reference, duplicated
+
+
+@given(models=network_models(), replica=replicas,
+       kind=st.sampled_from([FAIL_STOP, RATE_DEGRADE]),
+       phase=phases, seed=seeds)
+def test_clean_recovery_restores_theorem2(models, replica, kind, phase,
+                                          seed):
+    """A working countermeasure completes and re-establishes Theorem 2:
+    the consumer stream is byte-identical to the reference — values and
+    instants — so the weakly-hard account is empty and no detection
+    fires after completion."""
+    spec = RecoverySpec()
+    reference, run = _run_pair(models, replica, kind, phase, seed, spec)
+    [attempt] = run.recovery["attempts"]
+    assert attempt["completed_at"] is not None
+    assert run.values == reference.values
+    acct = account(reference.times, run.times, spec.m, spec.k,
+                   spec.miss_tolerance_ms)
+    assert acct.misses == 0
+    assert all(
+        d.time <= attempt["completed_at"] + 1e-6 for d in run.detections
+    )
+    # The countermeasure respawned the condemned replica, not the other.
+    assert attempt["replica"] == replica
+    assert all(name.startswith(f"R{replica + 1}r1")
+               for name in attempt["respawned"])
+
+
+@given(models=network_models(), replica=replicas, phase=phases,
+       response=st.floats(min_value=0.0, max_value=3.0), seed=seeds)
+def test_transient_misses_confined_to_recovery_window(models, replica,
+                                                      phase, response,
+                                                      seed):
+    """Whatever the countermeasure's response delay (up to three
+    periods), every deadline miss is confined to the recovery window
+    ``[injection, completion]`` — the paper's transient never leaks into
+    the post-recovery regime."""
+    producer_period = models[0].period
+    spec = RecoverySpec(response_ms=response * producer_period,
+                        m=20, k=20)
+    reference, run = _run_pair(models, replica, FAIL_STOP, phase, seed,
+                               spec)
+    [attempt] = run.recovery["attempts"]
+    assert attempt["completed_at"] is not None
+    assert run.values == reference.values
+    acct = account(reference.times, run.times, spec.m, spec.k,
+                   spec.miss_tolerance_ms)
+    assert acct.confined_to(run.injector.injected_at,
+                            attempt["completed_at"])

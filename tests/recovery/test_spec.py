@@ -1,0 +1,67 @@
+"""RecoverySpec validation and serialisation pins."""
+
+import dataclasses
+
+import pytest
+
+from repro.recovery import RecoverySpec
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = RecoverySpec()
+        assert spec.respawn and spec.reprime
+        assert spec.max_recoveries == 1
+        assert 0 <= spec.m <= spec.k
+
+    def test_negative_response_rejected(self):
+        with pytest.raises(ValueError):
+            RecoverySpec(response_ms=-1.0)
+
+    def test_recovery_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecoverySpec(max_recoveries=0)
+
+    def test_weakly_hard_window_bounds(self):
+        with pytest.raises(ValueError):
+            RecoverySpec(k=0)
+        with pytest.raises(ValueError):
+            RecoverySpec(m=5, k=4)
+        with pytest.raises(ValueError):
+            RecoverySpec(m=-1)
+        RecoverySpec(m=0, k=1)  # boundary is admissible
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            RecoverySpec(miss_tolerance_ms=-1e-9)
+
+    def test_broken_countermeasure_requires_respawn(self):
+        # reprime=False exists to break the *handover*; without a
+        # respawn there is no handover to break.
+        with pytest.raises(ValueError):
+            RecoverySpec(respawn=False, reprime=False)
+        RecoverySpec(respawn=True, reprime=False)  # the broken variant
+
+
+class TestValueObject:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RecoverySpec().respawn = False
+
+    def test_structural_equality_and_hash(self):
+        assert RecoverySpec() == RecoverySpec()
+        assert hash(RecoverySpec()) == hash(RecoverySpec())
+        assert RecoverySpec() != RecoverySpec(reprime=False)
+
+    def test_as_dict_is_complete(self):
+        payload = RecoverySpec(response_ms=2.5, m=1, k=10).as_dict()
+        assert payload == {
+            "respawn": True,
+            "reprime": True,
+            "response_ms": 2.5,
+            "max_recoveries": 1,
+            "m": 1,
+            "k": 10,
+            "miss_tolerance_ms": 1e-6,
+            "spare_placement": True,
+        }

@@ -1,0 +1,144 @@
+"""Weakly-hard ``(m, k)`` accounting: unit pins and Hypothesis properties.
+
+The unit tests pin the miss definition (late vs the reference token,
+tolerance absorbs float noise) and the confinement semantics; the
+properties check the sliding-window maximum against a brute-force
+witness and its monotonicity in the window size.  Example counts come
+from the shared ``ci``/``thorough`` profiles — no local pinning.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.recovery.weakly_hard import (
+    account,
+    miss_flags,
+    satisfies_mk,
+    worst_window,
+)
+
+import pytest
+
+flag_lists = st.lists(st.booleans(), max_size=80)
+window_sizes = st.integers(min_value=1, max_value=30)
+
+
+class TestMissFlags:
+    def test_late_token_is_a_miss(self):
+        assert miss_flags([10.0, 20.0], [10.0, 21.0]) == [False, True]
+
+    def test_tolerance_absorbs_float_noise(self):
+        assert miss_flags([10.0], [10.0 + 1e-9]) == [False]
+        assert miss_flags([10.0], [10.5], tolerance_ms=1.0) == [False]
+        assert miss_flags([10.0], [11.5], tolerance_ms=1.0) == [True]
+
+    def test_early_tokens_never_miss(self):
+        assert miss_flags([10.0, 20.0], [5.0, 19.0]) == [False, False]
+
+    def test_common_prefix_only(self):
+        # A truncated duplicated schedule is judged on the tokens that
+        # arrived; missing tokens are the stall/equivalence oracles' job.
+        assert miss_flags([10.0, 20.0, 30.0], [10.0]) == [False]
+
+
+class TestWorstWindow:
+    def test_empty_and_short_schedules(self):
+        assert worst_window([], 5) == 0
+        assert worst_window([True, True], 5) == 2
+
+    def test_window_slides(self):
+        flags = [True, False, False, True, True]
+        assert worst_window(flags, 2) == 2
+        assert worst_window(flags, 3) == 2
+        assert worst_window(flags, 5) == 3
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            worst_window([True], 0)
+
+    @given(flag_lists, window_sizes)
+    def test_matches_bruteforce(self, flags, k):
+        window = min(k, len(flags)) or len(flags)
+        expected = max(
+            (sum(flags[i:i + window])
+             for i in range(len(flags) - window + 1)),
+            default=0,
+        )
+        assert worst_window(flags, k) == expected
+
+    @given(flag_lists, window_sizes)
+    def test_monotone_in_window_size(self, flags, k):
+        # A larger window can only contain more misses.
+        assert worst_window(flags, k) <= worst_window(flags, k + 1)
+
+    @given(flag_lists, window_sizes)
+    def test_bounds(self, flags, k):
+        worst = worst_window(flags, k)
+        assert 0 <= worst <= min(k, max(len(flags), 1))
+        assert worst <= sum(flags)
+
+
+class TestSatisfiesMk:
+    @given(flag_lists, window_sizes)
+    def test_budget_boundary(self, flags, k):
+        worst = worst_window(flags, k)
+        assert satisfies_mk(flags, worst, k)
+        if worst > 0:
+            assert not satisfies_mk(flags, worst - 1, k)
+
+    def test_zero_budget_means_no_misses(self):
+        assert satisfies_mk([False] * 10, 0, 3)
+        assert not satisfies_mk([False, True, False], 0, 3)
+
+
+class TestAccount:
+    def test_identical_schedules_account_to_zero(self):
+        times = [10.0 * i for i in range(1, 21)]
+        acct = account(times, list(times), m=0, k=5)
+        assert acct.misses == 0
+        assert acct.worst_window == 0
+        assert acct.within_budget
+        assert acct.miss_times == []
+
+    def test_miss_times_are_duplicated_arrivals(self):
+        acct = account([10.0, 20.0, 30.0], [10.0, 25.0, 30.0], m=1, k=3)
+        assert acct.misses == 1
+        assert acct.miss_times == [25.0]
+        assert acct.within_budget
+
+    def test_confinement_semantics(self):
+        acct = account([10.0, 20.0, 30.0], [10.0, 25.0, 36.0], m=2, k=3)
+        assert acct.miss_times == [25.0, 36.0]
+        assert acct.confined_to(20.0, 40.0)
+        assert not acct.confined_to(26.0, 40.0)  # 25.0 precedes window
+        assert not acct.confined_to(20.0, 30.0)  # 36.0 exceeds window
+        # No fault injected: any miss is unconfined by definition.
+        assert not acct.confined_to(None, 40.0)
+        # Recovery never completed: misses run to the end of the run.
+        assert acct.confined_to(20.0, None)
+
+    def test_no_misses_always_confined(self):
+        acct = account([10.0], [10.0], m=0, k=1)
+        assert acct.confined_to(None, None)
+
+    def test_as_dict_round_trips_the_judgement(self):
+        acct = account([10.0, 20.0], [10.0, 25.0], m=0, k=2)
+        payload = acct.as_dict()
+        assert payload["misses"] == 1
+        assert payload["worst_window"] == 1
+        assert payload["within_budget"] is False
+        assert payload["miss_times"] == [25.0]
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e4,
+                           allow_nan=False, allow_infinity=False),
+                 max_size=40),
+        window_sizes,
+    )
+    def test_account_consistent_with_flags(self, times, k):
+        shifted = [t + 1.0 for t in times]
+        acct = account(times, shifted, m=k, k=k, tolerance_ms=0.5)
+        flags = miss_flags(times, shifted, tolerance_ms=0.5)
+        assert acct.misses == sum(flags)
+        assert acct.worst_window == worst_window(flags, k)
+        assert acct.within_budget == satisfies_mk(flags, k, k)
